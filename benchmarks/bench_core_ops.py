@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the individual hot paths (wall clock, Python).
+
+These are the raw ingredients of every figure: filter probe, sketch
+update, exchange, query.  Absolute numbers are Python-scaled; ratios
+between them are what the reproduction relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.core.filters import make_filter
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.zipf import zipf_stream
+
+STREAM = zipf_stream(40_000, 10_000, 1.5, seed=61)
+
+
+@pytest.mark.parametrize(
+    "kind", ["vector", "strict-heap", "relaxed-heap", "stream-summary"]
+)
+def test_filter_hit_path(benchmark, kind):
+    filter_ = make_filter(kind, 32)
+    for key in range(32):
+        filter_.insert(key, 1, 0)
+    keys = [int(k) % 32 for k in STREAM.keys[:2000]]
+
+    def hits():
+        for key in keys:
+            filter_.add_if_present(key, 1)
+
+    benchmark(hits)
+
+
+def test_count_min_point_update(benchmark):
+    sketch = CountMinSketch(8, total_bytes=128 * 1024, seed=62)
+    keys = STREAM.keys[:2000].tolist()
+
+    def updates():
+        for key in keys:
+            sketch.update(key)
+
+    benchmark(updates)
+
+
+def test_count_min_batch_update(benchmark):
+    sketch = CountMinSketch(8, total_bytes=128 * 1024, seed=63)
+    keys = STREAM.keys[:20_000]
+    benchmark(sketch.update_batch, keys)
+
+
+def test_asketch_stream_ingest(benchmark):
+    keys = STREAM.keys[:20_000]
+
+    def ingest():
+        asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+        asketch.process_stream(keys)
+        return asketch
+
+    benchmark.pedantic(ingest, rounds=3, iterations=1)
+
+
+def test_asketch_query_path(benchmark):
+    asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=65)
+    asketch.process_stream(STREAM.keys)
+    queries = STREAM.keys[:5000].tolist()
+
+    def run_queries():
+        for key in queries:
+            asketch.query(key)
+
+    benchmark(run_queries)
+
+
+def test_exchange_heavy_path(benchmark):
+    """Uniform keys on a tiny filter: the exchange-dominated worst case."""
+    rng = np.random.default_rng(66)
+    keys = rng.integers(0, 50_000, size=10_000, dtype=np.int64)
+
+    def ingest():
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8, seed=67)
+        asketch.process_stream(keys)
+        return asketch
+
+    asketch = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert asketch.exchange_count > 0

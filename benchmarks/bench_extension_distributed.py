@@ -1,0 +1,60 @@
+"""Extension bench: distributed deployments (merge, kernel group, window).
+
+Wall-clocks the production-feature extensions: synopsis merging (the
+combined-synopsis SPMD variant), the query-merged kernel group (§6.3
+semantics), and the sliding-window wrapper built on Appendix-A
+deletions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.core.kernel_group import KernelGroup
+from repro.core.window import SlidingWindowASketch
+from repro.streams.zipf import zipf_stream
+
+STREAMS = [
+    zipf_stream(20_000, 5_000, 1.5, seed=111 + index) for index in range(4)
+]
+
+
+def test_asketch_merge(benchmark):
+    def build_and_merge():
+        parts = []
+        for index, stream in enumerate(STREAMS):
+            asketch = ASketch(total_bytes=64 * 1024, filter_items=32, seed=9)
+            asketch.process_stream(stream.keys)
+            parts.append(asketch)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        return merged
+
+    merged = benchmark.pedantic(build_and_merge, rounds=1, iterations=1)
+    assert merged.total_mass == sum(len(s) for s in STREAMS)
+
+
+def test_kernel_group_query(benchmark):
+    group = KernelGroup(4, total_bytes=64 * 1024, seed=10)
+    for index, stream in enumerate(STREAMS):
+        group.process_stream_on(index, stream.keys)
+    probe = STREAMS[0].keys[:500]
+
+    benchmark(group.query_batch, probe)
+
+
+def test_sliding_window_ingest(benchmark):
+    keys = STREAMS[0].keys
+
+    def ingest():
+        window = SlidingWindowASketch(
+            5_000, total_bytes=64 * 1024, filter_items=32, seed=11
+        )
+        window.process_stream(keys)
+        return window
+
+    window = benchmark.pedantic(ingest, rounds=1, iterations=1)
+    assert len(window) == 5_000

@@ -1,0 +1,33 @@
+"""Figure 10 bench: real-data surrogate throughput and error."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure10_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure10", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for dataset in ("ip-trace", "kosarak"):
+        rows = {
+            row["method"]: row
+            for row in result.rows
+            if row["dataset"] == dataset
+        }
+        # ASketch at or above Count-Min throughput at these mild skews.
+        assert (
+            rows["ASketch"]["updates/ms (modeled)"]
+            >= 0.95 * rows["Count-Min"]["updates/ms (modeled)"]
+        )
+        # ASketch-FCM is the most accurate method (paper's reading).
+        best_error = min(row["observed error (%)"] for row in rows.values())
+        assert rows["ASketch-FCM"]["observed error (%)"] <= best_error * 3
+        # ASketch at or below Count-Min error.
+        assert (
+            rows["ASketch"]["observed error (%)"]
+            <= rows["Count-Min"]["observed error (%)"] + 1e-9
+        )

@@ -1,0 +1,22 @@
+"""Figure 11 bench: Space Saving vs ASketch on the Kosarak surrogate."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure11_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure11", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    rows = {row["method"]: row["observed error (%)"] for row in result.rows}
+    # Both ASketch variants clearly below both Space Saving conventions
+    # (the paper's "much lower error in comparison").
+    assert rows["ASketch"] < rows["Space Saving(min)"] / 5
+    assert rows["ASketch"] < rows["Space Saving"] / 5
+    assert rows["ASketch-FCM"] < rows["Space Saving"] / 2
+    # Zero convention beats min convention (the paper's reading).
+    assert rows["Space Saving"] < rows["Space Saving(min)"]

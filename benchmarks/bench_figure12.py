@@ -1,0 +1,29 @@
+"""Figure 12 bench: pipeline parallelism vs skew."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure12_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure12", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    speedups = {
+        row["skew"]: row["ASketch pipeline speedup"] for row in result.rows
+    }
+    # The mid-band benefit (paper: ~2x around skew 1.8)...
+    midband = max(speedups[s] for s in (1.25, 1.5, 1.75, 2.0))
+    assert midband > 1.4
+    # ... diminishing at very high skew (paper: above ~2.4).
+    assert speedups[3.0] < midband
+    # Parallel ASketch above Parallel H-UDAF in the mid band.
+    mid_rows = [row for row in result.rows if 1.5 <= row["skew"] <= 2.0]
+    for row in mid_rows:
+        assert (
+            row["Parallel ASketch items/ms"]
+            > row["Parallel H-UDAF items/ms"]
+        )

@@ -1,0 +1,22 @@
+"""Figure 13 bench: SPMD counting-kernel scaling."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure13_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure13", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    rows = {row["cores"]: row for row in result.rows}
+    # Near-linear scaling to 32 cores for both kernels.
+    assert rows[32]["ASketch items/ms"] > 25 * rows[1]["ASketch items/ms"]
+    assert rows[32]["Count-Min items/ms"] > 25 * rows[1]["Count-Min items/ms"]
+    # ASketch ~4x Count-Min at every core count (paper's reading).
+    for row in result.rows:
+        assert row["ASketch/CMS ratio"] > 2.0
+    assert rows[32]["scaling efficiency"] > 0.8

@@ -1,0 +1,27 @@
+"""Figure 14 bench: filter-implementation throughput vs skew."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure14_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure14", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    mid = [row for row in result.rows if 0.75 <= row["skew"] <= 1.75]
+    high = [row for row in result.rows if row["skew"] >= 2.5]
+    # Relaxed beats Strict in the real-world band (less maintenance).
+    assert sum(r["relaxed-heap items/ms"] for r in mid) > sum(
+        r["strict-heap items/ms"] for r in mid
+    )
+    # Vector wins at high skew (paper: best above ~2).
+    for row in high:
+        assert row["vector items/ms"] >= 0.95 * row["relaxed-heap items/ms"]
+    # Stream-Summary trails the heaps in the real-world band.
+    assert sum(r["stream-summary items/ms"] for r in mid) < sum(
+        r["relaxed-heap items/ms"] for r in mid
+    )

@@ -1,0 +1,23 @@
+"""Figure 15 bench: filter-size sensitivity (throughput and error)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import POINT_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure15_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure15", POINT_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    by_label = {row["filter size"]: row for row in result.rows}
+    cms = by_label["0 (Count-Min)"]
+    sweet = by_label["0.4KB (32 items)"]
+    largest = by_label["12.0KB (1024 items)"]
+    # The paper's two sensitivity observations:
+    assert sweet["items/ms (modeled)"] > cms["items/ms (modeled)"]
+    assert sweet["items/ms (modeled)"] > largest["items/ms (modeled)"]
+    # <= because at bench scale both errors can sit on the zero floor.
+    assert sweet["observed error (%)"] <= cms["observed error (%)"]

@@ -1,0 +1,19 @@
+"""Figure 16 bench: tail (low-frequency) relative error, CMS vs ASketch."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure16_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure16", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        # The curves are indistinguishable (Theorem 1's point): neither
+        # side is ever worse than a small factor of the other.
+        assert row["ASketch ARE"] <= row["Count-Min ARE"] * 3 + 1e-6
+        assert row["Count-Min ARE"] <= row["ASketch ARE"] * 3 + 1e-6

@@ -1,0 +1,23 @@
+"""Figure 17 bench: predicted vs achieved filter selectivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure17_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure17", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        assert row["achieved N2/N"] == pytest.approx(
+            row["predicted N2/N"], abs=0.12
+        )
+    # Both series decline monotonically with skew.
+    predicted = result.column("predicted N2/N")
+    assert predicted == sorted(predicted, reverse=True)

@@ -1,0 +1,26 @@
+"""Figure 3 bench: the closed-form filter-selectivity curves."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import POINT_CONFIG
+from repro.core.analysis import predicted_filter_selectivity
+from repro.experiments import run_experiment
+
+
+def test_figure3_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure3", POINT_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        assert 0.0 <= row["|F|=128"] <= row["|F|=8"] <= 1.0
+    # Monotone decline with skew for every filter size.
+    for size in (8, 32, 64, 128):
+        series = result.column(f"|F|={size}")
+        assert series == sorted(series, reverse=True)
+
+
+def test_selectivity_closed_form_speed(benchmark):
+    """The closed form over the paper's full 8M-item domain."""
+    benchmark(predicted_filter_selectivity, 1.5, 8_000_000, 32)

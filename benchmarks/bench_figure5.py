@@ -1,0 +1,23 @@
+"""Figure 5 bench: update/query throughput vs skew for four methods."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure5_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure5", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    first, last = result.rows[0], result.rows[-1]
+    # Count-Min flat; ASketch gains ~order of magnitude with skew.
+    assert last["Count-Min upd/ms"] < 1.05 * first["Count-Min upd/ms"]
+    assert last["ASketch upd/ms"] > 5 * first["ASketch upd/ms"]
+    assert last["ASketch upd/ms"] > 5 * last["Count-Min upd/ms"]
+    # Query side (5b): ASketch ~10x at high skew.
+    assert last["ASketch qry/ms"] > 5 * last["Count-Min qry/ms"]
+    # H-UDAF rises steeply at the high-skew end.
+    assert last["Holistic UDAFs upd/ms"] > first["Holistic UDAFs upd/ms"]

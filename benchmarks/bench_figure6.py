@@ -1,0 +1,23 @@
+"""Figure 6 bench: relative error carried by misclassified items."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure6_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure6", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        if row["misclassified items"] > 0:
+            # On the items Count-Min misclassifies, ASketch's error is
+            # clearly lower (paper: up to 3 orders of magnitude at full
+            # scale; the gap narrows at reduced scale).
+            assert (
+                row["avg rel. error (ASketch)"]
+                < row["avg rel. error (Count-Min)"]
+            )

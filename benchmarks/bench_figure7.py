@@ -1,0 +1,22 @@
+"""Figure 7 bench: observed error vs skew (ASketch, CMS, H-UDAF)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure7_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure7", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows[2:]:  # skew >= 1.2: the gap must be open
+        assert row["ASketch err (%)"] <= row["Count-Min err (%)"]
+    # H-UDAF tracks Count-Min within a small factor at every skew.
+    for row in result.rows:
+        cms = row["Count-Min err (%)"]
+        hudaf = row["Holistic UDAFs err (%)"]
+        assert hudaf <= cms * 10 + 1e-9
+        assert cms <= hudaf * 10 + 1e-9

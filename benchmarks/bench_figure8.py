@@ -1,0 +1,19 @@
+"""Figure 8 bench: ASketch-FCM vs FCM observed error."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure8_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure8", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        assert row["ASketch-FCM err (%)"] <= row["FCM err (%)"] + 1e-9
+    # The gap opens with skew (paper: ~13x at 1.6).
+    last = result.rows[-1]
+    assert last["ASketch-FCM err (%)"] <= last["FCM err (%)"]

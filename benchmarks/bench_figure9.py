@@ -1,0 +1,21 @@
+"""Figure 9 bench: exchange counts vs skew."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_figure9_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("figure9", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    exchanges = result.column("exchanges")
+    # Steep monotone-ish decline; tiny at high skew (paper: <100 at 3).
+    assert exchanges[0] > 10 * max(exchanges[-1], 1)
+    assert exchanges[-1] < 100
+    # Exchanges are negligible relative to the stream size everywhere.
+    stream_size = SWEEP_CONFIG.sweep_stream_size
+    assert max(exchanges) < stream_size * 0.05

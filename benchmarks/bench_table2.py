@@ -1,0 +1,18 @@
+"""Table 2 bench: the analytic model evaluation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import POINT_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_table2_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2", POINT_CONFIG), rounds=1, iterations=1
+    )
+    persist(result)
+    cm = result.row_for("method", "Count-Min")
+    asketch = result.row_for("method", "ASketch")
+    assert asketch["throughput (items/ms)"] > cm["throughput (items/ms)"]
+    assert asketch["expected error bound"] < cm["expected error bound"]
+    assert "top-k" in asketch["supported queries"]

@@ -1,0 +1,21 @@
+"""Table 3 bench: misclassification counts vs Count-Min synopsis size."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_table3_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("table3", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        # ASketch never misclassifies (the paper's headline of Table 3).
+        assert row["max misclassifications (ASketch)"] == 0
+    # The smallest synopsis shows the most Count-Min misclassification.
+    smallest = result.rows[0]["max misclassifications (Count-Min)"]
+    largest = result.rows[-1]["max misclassifications (Count-Min)"]
+    assert smallest >= largest

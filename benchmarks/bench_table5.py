@@ -1,0 +1,18 @@
+"""Table 5 bench: precision-at-k of the ASketch top-k query."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import POINT_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_table5_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("table5", POINT_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    # Paper: precision 1.0 from skew 1.0 upward, high even below.
+    assert result.row_for("skew", 1.5)["precision-at-k"] >= 0.9
+    assert result.row_for("skew", 2.0)["precision-at-k"] >= 0.95
+    assert result.row_for("skew", 0.6)["precision-at-k"] >= 0.5

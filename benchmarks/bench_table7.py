@@ -1,0 +1,23 @@
+"""Table 7 bench: average error of the 10 worst-estimated items."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG
+from repro.experiments import run_experiment
+
+
+def test_table7_rows(benchmark, persist):
+    result = benchmark.pedantic(
+        run_experiment, args=("table7", SWEEP_CONFIG), rounds=1,
+        iterations=1,
+    )
+    persist(result)
+    for row in result.rows:
+        cms = row["Count-Min avg top-10 error"]
+        asketch = row["ASketch avg top-10 error"]
+        # Nearly equal at every skew (paper: 8013 vs 8088 etc.).
+        assert asketch <= cms * 3 + 5
+        assert cms <= asketch * 3 + 5
+    # Both columns shrink (or stay at the zero floor) as skew grows.
+    cms_series = result.column("Count-Min avg top-10 error")
+    assert cms_series[-1] <= cms_series[0]

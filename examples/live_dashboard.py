@@ -1,0 +1,71 @@
+"""A live analytics pipeline: engine + sharded ASketch + consumers.
+
+Puts the runtime layer together the way a collector deployment would:
+a chunked source feeds a 4-shard ASketch through the ingestion engine;
+a top-k board snapshots the trending items every 50K tuples and a
+threshold alerter fires once per elephant flow as it crosses 0.5% of
+traffic.
+
+Run with::
+
+    python examples/live_dashboard.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ShardedASketch,
+    StreamEngine,
+    ThresholdAlert,
+    TopKBoard,
+    zipf_stream,
+)
+
+SHARDS = 4
+CHUNK = 25_000
+
+
+def main() -> None:
+    stream = zipf_stream(400_000, 100_000, skew=1.3, seed=41)
+    print(f"source: {len(stream):,} tuples over "
+          f"{stream.distinct_seen():,} keys, chunked by {CHUNK:,}")
+
+    synopsis = ShardedASketch(
+        SHARDS, total_bytes=64 * 1024, filter_items=32, seed=5
+    )
+    engine = StreamEngine(synopsis)
+
+    board = TopKBoard(synopsis, k=5)
+    engine.every(100_000, board, name="top-5 board")
+    threshold = int(0.005 * len(stream))
+    alerts = ThresholdAlert(synopsis, threshold)
+    engine.every(CHUNK, alerts, name="elephant alerts")
+
+    stats = engine.run(stream.chunks(CHUNK))
+
+    print(f"\ningested {stats.tuples_ingested:,} tuples in "
+          f"{stats.chunks_ingested} chunks "
+          f"({stats.wall_throughput_items_per_ms:,.0f} items/ms wall); "
+          f"consumers fired {stats.consumer_firings} times")
+
+    print("\ntop-5 board snapshots:")
+    for position, snapshot in board.snapshots:
+        keys = [key for key, _ in snapshot]
+        print(f"  @{position:>7,}: {keys}")
+
+    print(f"\nelephant alerts (threshold {threshold:,}):")
+    for position, key, estimate in alerts.alerts[:8]:
+        true = stream.exact.count_of(key)
+        print(f"  @{position:>7,}: key {key} flagged at {estimate:,} "
+              f"(final true count {true:,})")
+
+    true_elephants = {
+        key for key, count in stream.exact.items() if count >= threshold
+    }
+    caught = true_elephants & alerts.alerted_keys
+    print(f"\nrecall: {len(caught)}/{len(true_elephants)} true elephants "
+          "alerted before stream end")
+
+
+if __name__ == "__main__":
+    main()

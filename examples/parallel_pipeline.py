@@ -1,0 +1,62 @@
+"""Parallel ASketch: the two-core pipeline and SPMD scaling (§6.2-6.3).
+
+Runs a sequential ASketch to measure its real operation split and
+selectivity at several skews, then evaluates the paper's two parallel
+deployments with the hardware models:
+
+* pipeline: filter on core C0, sketch on core C1, exchanges as messages;
+* SPMD: one independent counting kernel per core.
+
+Run with::
+
+    python examples/parallel_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import ASketch, PipelineSimulator, SpmdModel, zipf_stream
+
+
+def main() -> None:
+    pipeline = PipelineSimulator()
+    print("pipeline parallelism (filter core + sketch core)")
+    print(f"{'skew':>5} {'selectivity':>11} {'sequential':>11} "
+          f"{'pipelined':>10} {'speedup':>8} {'bottleneck':>10}")
+    for skew in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+        stream = zipf_stream(100_000, 25_000, skew, seed=17)
+        asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=6)
+        asketch.process_stream(stream.keys)
+        stage0, stage1 = asketch.stage_ops()
+        stage0.items = len(stream)
+        result = pipeline.run(
+            stage0,
+            stage1,
+            n_items=len(stream),
+            forwarded_items=asketch.miss_events,
+            returned_items=asketch.exchange_count,
+            sketch_bytes=asketch.sketch.size_bytes,
+            filter_bytes=asketch.filter.size_bytes,
+        )
+        print(
+            f"{skew:>5.1f} {asketch.achieved_selectivity:>11.3f} "
+            f"{result.sequential_items_per_ms:>9,.0f}/ms "
+            f"{result.throughput_items_per_ms:>8,.0f}/ms "
+            f"{result.speedup:>8.2f} {result.bottleneck:>10}"
+        )
+
+    print("\nSPMD scaling (one kernel per core, Zipf 1.5, 2.40 GHz)")
+    stream = zipf_stream(100_000, 25_000, 1.5, seed=18)
+    asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=7)
+    asketch.process_stream(stream.keys)
+    model = SpmdModel()
+    print(f"{'cores':>6} {'aggregate':>12} {'efficiency':>10}")
+    for cores in (1, 2, 4, 8, 16, 32):
+        result = model.run(
+            asketch.combined_ops(), asketch.sketch.size_bytes, cores
+        )
+        print(f"{cores:>6} {result.aggregate_items_per_ms:>10,.0f}/ms "
+              f"{result.efficiency:>10.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""repro — a reproduction of "Augmented Sketch: Faster and More Accurate
+Stream Processing" (Roy, Khan & Alonso, SIGMOD 2016).
+
+The package implements the paper's contribution — :class:`ASketch`, a
+filter-augmented sketch for frequency estimation over data streams — and
+every substrate its evaluation depends on: Count-Min, Count Sketch,
+Frequency-Aware Counting, Holistic UDAFs, Space Saving, Misra-Gries, four
+filter implementations, a lane-accurate SSE2 emulation, a calibrated
+hardware cost model with pipeline/SPMD parallelism models, stream and
+query workload generators, and the paper's accuracy metrics.
+
+Quickstart::
+
+    from repro import ASketch, zipf_stream
+
+    stream = zipf_stream(stream_size=100_000, n_distinct=25_000, skew=1.5)
+    sketch = ASketch(total_bytes=128 * 1024, filter_items=32)
+    sketch.process_stream(stream.keys)
+
+    key, true_count = stream.true_top_k(1)[0]
+    print(sketch.query(key), "vs true", true_count)
+    print(sketch.top_k(10))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.core.asketch import ASketch
+from repro.core.kernel_group import KernelGroup
+from repro.core.window import SlidingWindowASketch
+from repro.core.filters import (
+    RelaxedHeapFilter,
+    StreamSummaryFilter,
+    StrictHeapFilter,
+    VectorFilter,
+    make_filter,
+)
+from repro.counters import (
+    ExactCounter,
+    LossyCounting,
+    MisraGries,
+    SpaceSaving,
+    StreamSummary,
+)
+from repro.hardware import (
+    CostModel,
+    EventDrivenPipeline,
+    OpCounters,
+    PipelineSimulator,
+    SpmdModel,
+)
+from repro.runtime import (
+    ShardedASketch,
+    StreamEngine,
+    ThresholdAlert,
+    TopKBoard,
+)
+from repro.persistence import (
+    load_asketch,
+    load_count_min,
+    load_hierarchical,
+    save_asketch,
+    save_count_min,
+    save_hierarchical,
+)
+from repro.sketches import (
+    CountMinSketch,
+    CountSketch,
+    FrequencyAwareCountMin,
+    HierarchicalCountMin,
+    HolisticUDAF,
+)
+from repro.streams import (
+    Stream,
+    ip_trace_stream,
+    kosarak_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASketch",
+    "CostModel",
+    "CountMinSketch",
+    "CountSketch",
+    "EventDrivenPipeline",
+    "ExactCounter",
+    "FrequencyAwareCountMin",
+    "HierarchicalCountMin",
+    "HolisticUDAF",
+    "KernelGroup",
+    "LossyCounting",
+    "MisraGries",
+    "OpCounters",
+    "PipelineSimulator",
+    "RelaxedHeapFilter",
+    "ShardedASketch",
+    "SlidingWindowASketch",
+    "SpaceSaving",
+    "SpmdModel",
+    "Stream",
+    "StreamEngine",
+    "StreamSummary",
+    "StreamSummaryFilter",
+    "StrictHeapFilter",
+    "ThresholdAlert",
+    "TopKBoard",
+    "VectorFilter",
+    "__version__",
+    "ip_trace_stream",
+    "kosarak_stream",
+    "load_asketch",
+    "load_count_min",
+    "load_hierarchical",
+    "make_filter",
+    "save_asketch",
+    "save_count_min",
+    "save_hierarchical",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface: list and run the reproduced experiments.
+
+Usage::
+
+    repro-asketch list
+    repro-asketch run table1
+    repro-asketch run figure5 --scale 0.25 --seed 3
+    repro-asketch run all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    experiment_ids,
+    format_result,
+    run_experiment,
+)
+from repro.experiments.registry import describe
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asketch",
+        description=(
+            "Reproduction harness for 'Augmented Sketch' (SIGMOD 2016): "
+            "regenerate the paper's tables and figures."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all experiment ids")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or 'all') and print its rows"
+    )
+    run_parser.add_argument(
+        "experiment", help="experiment id (see 'list') or 'all'"
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="stream-size multiplier (default 1.0 = 400K-tuple streams)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed"
+    )
+    run_parser.add_argument(
+        "--synopsis-kb",
+        type=int,
+        default=128,
+        help="total synopsis budget in KB (default 128, as in the paper)",
+    )
+    run_parser.add_argument(
+        "--filter-items",
+        type=int,
+        default=32,
+        help="ASketch filter capacity in items (default 32)",
+    )
+    run_parser.add_argument(
+        "--filter-kind",
+        default="relaxed-heap",
+        choices=["vector", "strict-heap", "relaxed-heap", "stream-summary"],
+        help="ASketch filter implementation (default relaxed-heap)",
+    )
+    run_parser.add_argument(
+        "--runs",
+        type=int,
+        default=5,
+        help="repetitions for max-over-runs experiments (paper uses 100)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run every experiment and write one markdown report",
+    )
+    report_parser.add_argument("output", help="output markdown path")
+    report_parser.add_argument("--scale", type=float, default=1.0)
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="restrict to these experiment ids",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(f"{experiment_id:10s} {describe(experiment_id)}")
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+        try:
+            path = write_report(args.output, config, args.only)
+        except ReproError as exc:
+            print(f"error generating report: {exc}", file=sys.stderr)
+            return 1
+        print(f"report written to {path}")
+        return 0
+
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        synopsis_bytes=args.synopsis_kb * 1024,
+        filter_items=args.filter_items,
+        filter_kind=args.filter_kind,
+        runs=args.runs,
+    )
+    targets = (
+        experiment_ids() if args.experiment == "all" else [args.experiment]
+    )
+    for experiment_id in targets:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, config)
+        except ReproError as exc:
+            print(f"error running {experiment_id}: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - start
+        print(format_result(result))
+        print(f"({elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,473 @@
+"""ASketch: the augmented sketch of the paper (Algorithms 1 and 2).
+
+An :class:`ASketch` is a small filter in front of a sketch.  Each incoming
+tuple ``(k, u)`` first probes the filter:
+
+1. hit — ``u`` is aggregated into the item's ``new_count`` (exact, cheap);
+2. miss with a free slot — the item starts being monitored with
+   ``new_count = u``, ``old_count = 0``;
+3. miss on a full filter — the sketch is updated with ``(k, u)``; if the
+   resulting estimate exceeds the smallest ``new_count`` in the filter, at
+   most one *exchange* runs: ``k`` enters the filter carrying
+   ``new_count = old_count = estimate`` (nothing is removed from the
+   sketch — removing an over-estimate would break the one-sided
+   guarantee, Example 1 of the paper), and the evicted minimum item's
+   resident mass ``new_count - old_count`` is hashed into the sketch.
+
+Queries (Algorithm 2) return the filter's ``new_count`` on a hit and the
+sketch estimate otherwise; for insert-only streams the result is always an
+over-estimate of the true count, with *exact* counts for items that never
+left the filter.
+
+Space accounting follows §4 exactly: for a total budget ``S`` and a filter
+of ``s_f`` bytes, the underlying sketch keeps its ``w`` rows but its row
+width shrinks to ``h' = h - s_f / w`` (equivalently, the sketch gets
+``S - s_f`` bytes), so ASketch and the baselines always compare at equal
+total space.
+
+Deletions (negative updates, Appendix A) are supported under the strict
+turnstile model via :meth:`remove`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.filters import Filter, make_filter
+from repro.errors import ConfigurationError, NegativeCountError
+from repro.hardware.costs import OpCounters
+from repro.sketches.base import FrequencySketch
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.fcm import FrequencyAwareCountMin
+
+
+def _default_sketch(
+    backend: str,
+    sketch_bytes: int,
+    num_hashes: int,
+    seed: int,
+) -> FrequencySketch:
+    """Build the sketch for the part of the budget the filter leaves."""
+    if backend == "count-min":
+        return CountMinSketch(
+            num_hashes=num_hashes, total_bytes=sketch_bytes, seed=seed
+        )
+    if backend == "fcm":
+        # ASketch-FCM (paper §7.2.1): the filter already separates the
+        # heavy items, so the backend runs the paper's "modified" FCM
+        # without the (redundant) MG classifier.
+        return FrequencyAwareCountMin(
+            num_hashes=num_hashes,
+            total_bytes=sketch_bytes,
+            use_mg_counter=False,
+            seed=seed,
+        )
+    if backend == "count-sketch":
+        return CountSketch(
+            num_hashes=num_hashes, total_bytes=sketch_bytes, seed=seed
+        )
+    raise ConfigurationError(
+        f"unknown sketch backend {backend!r}; choose from "
+        "'count-min', 'fcm', 'count-sketch'"
+    )
+
+
+class ASketch:
+    """Augmented sketch: filter + sketch with the exchange protocol.
+
+    Parameters
+    ----------
+    total_bytes:
+        Total synopsis budget shared by filter and sketch (ignored when an
+        explicit ``sketch`` is supplied).
+    filter_items:
+        Filter capacity in items (``|F|``; the paper's default is 32).
+    filter_kind:
+        One of ``"vector"``, ``"strict-heap"``, ``"relaxed-heap"``
+        (default, as in all of §7), ``"stream-summary"``.
+    sketch:
+        An already-built sketch to augment; mutually exclusive with
+        ``total_bytes``.
+    sketch_backend:
+        ``"count-min"`` (default), ``"fcm"`` (ASketch-FCM) or
+        ``"count-sketch"``.
+    num_hashes:
+        ``w`` for the underlying sketch (kept equal to the plain sketch's
+        so the ``e^-w`` error probability matches, §4).
+    max_exchanges_per_update:
+        The paper fixes this to 1 ("we always restrict ourselves to at
+        most one exchange"); larger values enable the cascading-exchange
+        ablation and are *not* recommended (they add error).
+    seed:
+        Hash seeding for the underlying sketch.
+    """
+
+    def __init__(
+        self,
+        total_bytes: int | None = None,
+        filter_items: int = 32,
+        filter_kind: str = "relaxed-heap",
+        *,
+        sketch: FrequencySketch | None = None,
+        sketch_backend: str = "count-min",
+        num_hashes: int = 8,
+        max_exchanges_per_update: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if (total_bytes is None) == (sketch is None):
+            raise ConfigurationError(
+                "specify exactly one of total_bytes or sketch"
+            )
+        if max_exchanges_per_update < 1:
+            raise ConfigurationError(
+                "max_exchanges_per_update must be >= 1, got "
+                f"{max_exchanges_per_update}"
+            )
+        self.ops = OpCounters()
+        self._filter: Filter = make_filter(filter_kind, filter_items)
+        self.filter_kind = filter_kind
+        if sketch is None:
+            assert total_bytes is not None
+            sketch_bytes = total_bytes - self._filter.size_bytes
+            if sketch_bytes <= 0:
+                raise ConfigurationError(
+                    f"filter of {self._filter.size_bytes} bytes exceeds the "
+                    f"total budget of {total_bytes} bytes"
+                )
+            sketch = _default_sketch(
+                sketch_backend, sketch_bytes, num_hashes, seed
+            )
+        self._sketch = sketch
+        self.max_exchanges_per_update = int(max_exchanges_per_update)
+        #: Aggregate count mass processed so far (``N`` in the paper).
+        self.total_mass = 0
+        #: Count mass that overflowed to the sketch (``N2``); the achieved
+        #: filter selectivity is ``overflow_mass / total_mass`` (Fig. 17).
+        self.overflow_mass = 0
+        #: Number of tuples forwarded to the sketch (pipeline messaging).
+        self.miss_events = 0
+        #: Optional per-item hit/miss trace (see :meth:`record_misses`).
+        self._miss_log: list[bool] | None = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def filter(self) -> Filter:
+        """The filter stage (read access for tests and metrics)."""
+        return self._filter
+
+    @property
+    def sketch(self) -> FrequencySketch:
+        """The underlying sketch stage."""
+        return self._sketch
+
+    @property
+    def size_bytes(self) -> int:
+        """Total logical synopsis size (filter + sketch)."""
+        return self._filter.size_bytes + self._sketch.size_bytes
+
+    @property
+    def exchange_count(self) -> int:
+        """Exchanges executed so far (Figure 9's metric)."""
+        return self.ops.exchanges
+
+    @property
+    def achieved_selectivity(self) -> float:
+        """Measured ``N2 / N`` (Figure 17's "achieved" series)."""
+        if self.total_mass == 0:
+            return 0.0
+        return self.overflow_mass / self.total_mass
+
+    # -- Algorithm 1: stream processing -----------------------------------
+
+    def update(self, key: int, amount: int = 1) -> int:
+        """Insert ``(key, amount)``; returns the post-update estimate."""
+        estimate = self._process(key, amount)
+        if estimate is not None:
+            return estimate
+        counts = self._filter.get_counts(key)
+        assert counts is not None
+        return counts[0]
+
+    def process(self, key: int, amount: int = 1) -> None:
+        """Insert ``(key, amount)`` without computing a return estimate.
+
+        The streaming hot path: identical state transitions to
+        :meth:`update`, minus the extra filter probe a hit-path return
+        value would need.
+        """
+        self._process(key, amount)
+
+    def _process(self, key: int, amount: int) -> int | None:
+        """Shared Algorithm 1 body.
+
+        Returns the sketch estimate when the item went to the sketch (or
+        entered the filter through an exchange), or None when the item
+        lives in the filter and the caller can read its ``new_count``.
+        """
+        if amount < 0:
+            raise NegativeCountError(
+                "use remove() for deletions (negative updates)"
+            )
+        self.ops.items += 1
+        self.total_mass += amount
+        filter_ = self._filter
+        miss_log = self._miss_log
+        if filter_.add_if_present(key, amount):  # lines 2-3
+            if miss_log is not None:
+                miss_log.append(False)
+            return None
+        if not filter_.is_full:  # lines 4-6
+            filter_.insert(key, amount, 0)
+            if miss_log is not None:
+                miss_log.append(False)
+            return None
+        # Lines 7-17: overflow to the sketch, then at most one exchange
+        # (or more under the cascading ablation).
+        if miss_log is not None:
+            miss_log.append(True)
+        self.miss_events += 1
+        self.overflow_mass += amount
+        current_key = key
+        current_estimate = self._sketch.update(key, amount)
+        result = current_estimate
+        exchanges_done = 0
+        while (
+            exchanges_done < self.max_exchanges_per_update
+            and current_estimate > filter_.min_new_count()
+        ):
+            evicted = filter_.replace_min(
+                current_key, current_estimate, current_estimate
+            )
+            self.ops.exchanges += 1
+            exchanges_done += 1
+            if current_key == key:
+                # The incoming item now lives in the filter; its estimate
+                # is its new_count there.
+                result = current_estimate
+            delta = evicted.resident_count
+            if delta > 0:
+                # Only the exactly-known resident mass is hashed back
+                # (line 12); the old_count part is already in the sketch.
+                current_estimate = self._sketch.update(evicted.key, delta)
+            elif exchanges_done < self.max_exchanges_per_update:
+                current_estimate = self._sketch.estimate(evicted.key)
+            else:
+                break
+            current_key = evicted.key
+        return result
+
+    def process_stream(self, keys: np.ndarray) -> None:
+        """Process an array of unit-count keys in order."""
+        process = self._process
+        for key in keys.tolist():
+            process(key, 1)
+
+    def record_misses(self, enabled: bool = True) -> None:
+        """Toggle the per-item hit/miss trace.
+
+        When enabled, every processed tuple appends True (overflowed to
+        the sketch) or False (absorbed by the filter) to the trace —
+        the per-item schedule the event-driven pipeline simulator
+        replays (:mod:`repro.hardware.event_pipeline`).
+        """
+        self._miss_log = [] if enabled else None
+
+    def miss_trace(self) -> np.ndarray:
+        """The recorded hit/miss trace as a boolean array."""
+        if self._miss_log is None:
+            raise ConfigurationError(
+                "call record_misses() before processing the stream"
+            )
+        return np.array(self._miss_log, dtype=bool)
+
+    # -- Algorithm 2: query processing ----------------------------------
+
+    def query(self, key: int) -> int:
+        """Frequency estimate: filter ``new_count``, else sketch estimate."""
+        self.ops.items += 1
+        new_count = self._filter.get_new_count(key)
+        if new_count is not None:
+            return new_count
+        return self._sketch.estimate(key)
+
+    #: Sketch-interface alias so metrics treat ASketch like any synopsis.
+    estimate = query
+
+    def query_batch(self, keys) -> list[int]:
+        """Point-query every key in order."""
+        return [self.query(int(key)) for key in keys]
+
+    estimate_batch = query_batch
+
+    # -- top-k (§7.2.2) --------------------------------------------------
+
+    def top_k(self, k: int | None = None) -> list[tuple[int, int]]:
+        """Top-k frequent items, directly from the filter.
+
+        ``k`` defaults to the filter capacity — the paper's top-k query
+        supports ``k`` up to ``|F|`` for strict (insert-only) streams.
+        """
+        if k is None:
+            k = self._filter.capacity
+        if k > self._filter.capacity:
+            raise ConfigurationError(
+                f"top-k limited to the filter capacity "
+                f"{self._filter.capacity}, got k={k}"
+            )
+        return self._filter.top_k(k)
+
+    def merge(self, other: "ASketch") -> None:
+        """Absorb another ASketch built over the same sketch geometry.
+
+        Merging is two linear steps, each preserving the one-sided
+        guarantee:
+
+        1. the underlying sketches are added cell-wise (they must share
+           dimensions and hash seeds — the natural setup for SPMD
+           kernels that want one combined synopsis);
+        2. every item monitored by the other filter re-enters this
+           ASketch through the ordinary update path carrying exactly its
+           *resident* mass (``new_count - old_count``) — the only part
+           of its count not already inside the merged sketch.
+
+        A filter answer is ``new_count``, which only covers the stream
+        its own ASketch saw — after a sketch merge, the merged sketch can
+        hold additional mass for a filter-resident key (its occurrences
+        on the *other* stream), which a stale ``new_count`` would miss.
+        Merging therefore flushes and rebuilds:
+
+        1. both filters hash their exact resident masses
+           (``new_count - old_count``) into their own sketches, making
+           each sketch a complete one-sided summary of its stream;
+        2. the sketches are added cell-wise, so the merged estimate is
+           one-sided for *every* key over both streams;
+        3. the filter is rebuilt over the union of both filters' keys
+           with ``new_count = old_count = merged estimate`` — exactly
+           the state an exchange would produce — keeping the highest
+           estimates when the union exceeds the capacity.
+
+        Heavy hitters re-absorb one round of sketch noise (as they do on
+        any exchange); subsequent hits are again counted exactly.  The
+        other ASketch's sketch is mutated by step 1 and the instance
+        should be discarded.
+        """
+        self_sketch = self._sketch
+        merge_op = getattr(self_sketch, "merge", None)
+        if merge_op is None:
+            raise ConfigurationError(
+                f"{type(self_sketch).__name__} does not support merging"
+            )
+        if not self_sketch.is_mergeable_with(other.sketch):
+            raise ConfigurationError(
+                "sketches must share dimensions and hash seeds to merge"
+            )
+        for side in (self, other):
+            for entry in side.filter.entries():
+                if entry.resident_count > 0:
+                    side.sketch.update(entry.key, entry.resident_count)
+                    side.overflow_mass += entry.resident_count
+        merge_op(other.sketch)
+
+        filter_ = self._filter
+        candidates = {entry.key for entry in filter_.entries()}
+        candidates.update(entry.key for entry in other.filter.entries())
+        estimates = {key: self_sketch.estimate(key) for key in candidates}
+        for entry in filter_.entries():
+            filter_.set_counts(
+                entry.key, estimates[entry.key], estimates[entry.key]
+            )
+        for key, estimate in sorted(
+            estimates.items(), key=lambda pair: pair[1], reverse=True
+        ):
+            if filter_.get_counts(key) is not None:
+                continue
+            if not filter_.is_full:
+                filter_.insert(key, estimate, estimate)
+            elif estimate > filter_.min_new_count():
+                filter_.replace_min(key, estimate, estimate)
+                self.ops.exchanges += 1
+        self.total_mass += other.total_mass
+        self.overflow_mass += other.overflow_mass
+
+    def heavy_hitters(self, threshold: int) -> list[tuple[int, int]]:
+        """Filter residents whose estimate reaches ``threshold``.
+
+        The heavy-hitter query the paper's applications (load balancing,
+        DDoS detection) run on top of frequency estimation: items with
+        frequency at least ``threshold``.  Any item that frequent is in
+        the filter once the stream is warm (it overtakes the minimum),
+        so the filter contents are the candidate set; answers are
+        (key, estimate) pairs sorted by estimate, descending.
+        """
+        if threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        found = [
+            (entry.key, entry.new_count)
+            for entry in self._filter.entries()
+            if entry.new_count >= threshold
+        ]
+        found.sort(key=lambda pair: pair[1], reverse=True)
+        return found
+
+    # -- deletions (Appendix A) -------------------------------------------
+
+    def remove(self, key: int, amount: int = 1) -> None:
+        """Negative-count update of magnitude ``amount`` (strict model).
+
+        Follows Appendix A: a filter-resident item first consumes its
+        exactly-known resident mass (``new_count - old_count``); only the
+        spill beyond it touches the sketch.  No exchange is initiated on
+        the deletion path.
+        """
+        if amount < 0:
+            raise NegativeCountError("remove() expects a positive amount")
+        self.ops.items += 1
+        self.total_mass -= amount
+        counts = self._filter.get_counts(key)
+        if counts is None:
+            self._sketch.update(key, -amount)
+            return
+        new_count, old_count = counts
+        if new_count - amount < 0:
+            raise NegativeCountError(
+                f"removing {amount} from key {key} whose estimate is "
+                f"{new_count}"
+            )
+        resident = new_count - old_count
+        if resident >= amount:
+            self._filter.set_counts(key, new_count - amount, old_count)
+            return
+        spill = amount - resident
+        self._sketch.update(key, -spill)
+        self._filter.set_counts(key, new_count - amount, old_count - spill)
+
+    # -- operation accounting ---------------------------------------------
+
+    def combined_ops(self) -> OpCounters:
+        """Driver + filter + sketch operations, merged."""
+        merged = self.ops.snapshot()
+        merged.merge(self._filter.ops)
+        merged.merge(self._sketch.ops)
+        return merged
+
+    def stage_ops(self) -> tuple[OpCounters, OpCounters]:
+        """(filter-core, sketch-core) operation split for the pipeline model.
+
+        The filter core carries the per-item loop and all filter work; the
+        sketch core carries hashing, cell traffic and exchange bookkeeping.
+        """
+        stage0 = self._filter.ops.snapshot()
+        stage0.items = self.ops.items
+        stage1 = self._sketch.ops.snapshot()
+        stage1.exchanges = self.ops.exchanges
+        return stage0, stage1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ASketch(filter={self.filter_kind}x{self._filter.capacity}, "
+            f"sketch={self._sketch!r}, bytes={self.size_bytes})"
+        )

@@ -1,0 +1,34 @@
+"""ASketch filter implementations (paper §6.1).
+
+The filter must support two operations efficiently: (1) lookup by item
+key, (2) find the item with the minimum ``new_count``.  The paper compares
+four designs, all reproduced here:
+
+* :class:`~repro.core.filters.vector.VectorFilter` — three flat arrays,
+  SIMD linear scan for lookup *and* for the minimum; best at skew > 2.
+* :class:`~repro.core.filters.heap.StrictHeapFilter` — array min-heap on
+  ``new_count``, re-heapified on every hit.
+* :class:`~repro.core.filters.heap.RelaxedHeapFilter` — the heap is fixed
+  only when the root (minimum) item is hit; best in the real-world skew
+  range and the default ASketch filter.
+* :class:`~repro.core.filters.stream_summary.StreamSummaryFilter` — the
+  Space-Saving structure (hash map + count-sorted bucket list); O(1) min
+  but heavy per-item space (fits 4 items where the arrays fit 32, Table 6)
+  and pointer-chasing costs.
+"""
+
+from repro.core.filters.base import Filter, FilterEntry
+from repro.core.filters.factory import make_filter
+from repro.core.filters.heap import RelaxedHeapFilter, StrictHeapFilter
+from repro.core.filters.stream_summary import StreamSummaryFilter
+from repro.core.filters.vector import VectorFilter
+
+__all__ = [
+    "Filter",
+    "FilterEntry",
+    "RelaxedHeapFilter",
+    "StreamSummaryFilter",
+    "StrictHeapFilter",
+    "VectorFilter",
+    "make_filter",
+]

@@ -1,0 +1,156 @@
+"""The filter interface ASketch programs against.
+
+A filter monitors up to ``capacity`` items.  Each monitored item carries
+two counts (paper §5):
+
+* ``new_count`` — the item's estimated total frequency (an over-estimate
+  once the item has ever been through the sketch, exact otherwise);
+* ``old_count`` — the estimate the item carried when it last *entered*
+  the filter; ``new_count - old_count`` is therefore the exact mass
+  accumulated while resident, and is the only part hashed back into the
+  sketch on eviction.
+
+Space accounting: each implementation declares ``BYTES_PER_SLOT`` — 12
+bytes for the three-array layouts (id, new_count, old_count as 32-bit
+values) and 100 bytes for Stream-Summary (pointers + hash entry).  For a
+fixed filter byte budget this reproduces Table 6's observation that
+Stream-Summary monitors 4 items where the arrays monitor 32.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.costs import OpCounters
+
+
+@dataclass(frozen=True)
+class FilterEntry:
+    """One monitored item as seen through :meth:`Filter.entries`."""
+
+    key: int
+    new_count: int
+    old_count: int
+
+    @property
+    def resident_count(self) -> int:
+        """Mass accumulated while in the filter (exact)."""
+        return self.new_count - self.old_count
+
+
+class Filter(ABC):
+    """Bounded monitor of high-frequency items with two counts per item."""
+
+    #: Logical bytes consumed per monitored slot (space accounting).
+    BYTES_PER_SLOT: int = 12
+
+    def __init__(self, capacity: int, ops: OpCounters | None = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"filter capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self.ops = ops if ops is not None else OpCounters()
+
+    # -- size -------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical filter size: ``capacity * BYTES_PER_SLOT``."""
+        return self.capacity * self.BYTES_PER_SLOT
+
+    @classmethod
+    def capacity_for_bytes(cls, budget_bytes: int) -> int:
+        """Monitored items affordable within a byte budget."""
+        capacity = budget_bytes // cls.BYTES_PER_SLOT
+        if capacity < 1:
+            raise ConfigurationError(
+                f"{budget_bytes} bytes cannot hold one "
+                f"{cls.BYTES_PER_SLOT}-byte slot"
+            )
+        return capacity
+
+    # -- required operations ----------------------------------------------
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of currently monitored items."""
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity
+
+    @abstractmethod
+    def add_if_present(self, key: int, amount: int) -> bool:
+        """If ``key`` is monitored, add ``amount`` to its new_count.
+
+        Returns True on a hit.  This is Algorithm 1 lines 1-3 and the
+        filter's hot path; implementations charge their lookup cost
+        (SIMD probe blocks or hash-table ops) here.
+        """
+
+    @abstractmethod
+    def insert(self, key: int, new_count: int, old_count: int) -> None:
+        """Start monitoring a new key (the filter must not be full).
+
+        Raises :class:`CapacityError` if full or the key is already
+        present — the ASketch update path guards both.
+        """
+
+    @abstractmethod
+    def get_counts(self, key: int) -> tuple[int, int] | None:
+        """(new_count, old_count) of a monitored key, else None."""
+
+    @abstractmethod
+    def min_new_count(self) -> int:
+        """new_count of the minimum item (Algorithm 1 line 9).
+
+        All four implementations track the exact minimum; they differ
+        only in what the tracking costs (a cached scan for Vector, the
+        heap root for the heaps, the first bucket for Stream-Summary).
+        """
+
+    @abstractmethod
+    def replace_min(
+        self, key: int, new_count: int, old_count: int
+    ) -> FilterEntry:
+        """Evict the tracked minimum item and monitor ``key`` instead.
+
+        Returns the evicted entry (whose ``resident_count`` the caller
+        hashes into the sketch).  This is the exchange of Algorithm 1
+        lines 10-16.
+        """
+
+    @abstractmethod
+    def set_counts(self, key: int, new_count: int, old_count: int) -> None:
+        """Overwrite both counts of a monitored key (deletion support).
+
+        Counts may *decrease* here; heap implementations restore their
+        invariants accordingly.
+        """
+
+    @abstractmethod
+    def entries(self) -> list[FilterEntry]:
+        """All monitored entries (order unspecified)."""
+
+    # -- shared conveniences ------------------------------------------------
+
+    def get_new_count(self, key: int) -> int | None:
+        """new_count of a monitored key, else None (Algorithm 2 path)."""
+        counts = self.get_counts(key)
+        return None if counts is None else counts[0]
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """The k highest (key, new_count) pairs, descending new_count."""
+        ordered = sorted(
+            self.entries(), key=lambda e: e.new_count, reverse=True
+        )
+        return [(entry.key, entry.new_count) for entry in ordered[:k]]
+
+    def _require_not_full(self) -> None:
+        if self.is_full:
+            raise CapacityError(
+                "insert on a full filter; use replace_min instead"
+            )

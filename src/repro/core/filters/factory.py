@@ -1,0 +1,59 @@
+"""Construct a filter implementation by name.
+
+Names match the paper's terminology: ``"vector"``, ``"strict-heap"``,
+``"relaxed-heap"`` (the default everywhere in §7), ``"stream-summary"``.
+"""
+
+from __future__ import annotations
+
+from repro.core.filters.base import Filter
+from repro.core.filters.heap import RelaxedHeapFilter, StrictHeapFilter
+from repro.core.filters.stream_summary import StreamSummaryFilter
+from repro.core.filters.vector import VectorFilter
+from repro.errors import ConfigurationError
+from repro.hardware.costs import OpCounters
+
+FILTER_KINDS: dict[str, type[Filter]] = {
+    "vector": VectorFilter,
+    "strict-heap": StrictHeapFilter,
+    "relaxed-heap": RelaxedHeapFilter,
+    "stream-summary": StreamSummaryFilter,
+}
+
+
+def make_filter(
+    kind: str,
+    capacity: int | None = None,
+    *,
+    budget_bytes: int | None = None,
+    ops: OpCounters | None = None,
+) -> Filter:
+    """Build a filter by kind with either an item or a byte capacity.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"vector"``, ``"strict-heap"``, ``"relaxed-heap"``,
+        ``"stream-summary"``.
+    capacity:
+        Number of monitored items; mutually exclusive with budget_bytes.
+    budget_bytes:
+        Byte budget converted via the kind's ``BYTES_PER_SLOT`` — this is
+        how Table 6's same-budget comparison is expressed.
+    ops:
+        Optional shared operation record.
+    """
+    try:
+        filter_cls = FILTER_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown filter kind {kind!r}; choose from {sorted(FILTER_KINDS)}"
+        ) from None
+    if (capacity is None) == (budget_bytes is None):
+        raise ConfigurationError(
+            "specify exactly one of capacity or budget_bytes"
+        )
+    if budget_bytes is not None:
+        capacity = filter_cls.capacity_for_bytes(budget_bytes)
+    assert capacity is not None
+    return filter_cls(capacity, ops=ops)

@@ -1,0 +1,150 @@
+"""Vector filter: three flat arrays scanned linearly (paper §6.1).
+
+Lookup is the SIMD linear scan of Algorithm 3 (16 ids per probe block);
+finding the minimum ``new_count`` is another linear scan.  On modern
+hardware this beats pointer-based structures for small arrays, and the
+paper finds it the best filter at skew > 2 — where almost every update is
+a hit and the min-scan on the miss path is rarely exercised.
+
+Python-speed note: the runtime lookup uses a dict index and the min-scan
+uses a cached minimum (counts only grow, so the cached minimum is exact
+and only needs recomputing when the minimum slot itself changes).  Both
+are *semantically identical* to the scans; the operation record still
+charges the scans the C implementation performs (``filter_probe_blocks``
+per lookup, ``min_scans`` elements per miss-path min query), which is what
+the cost model prices.  The id array is maintained so the faithful SIMD
+kernel can be run against the same state in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.filters.base import Filter, FilterEntry
+from repro.errors import CapacityError
+from repro.hardware.costs import OpCounters
+from repro.simd.engine import simd_probe_blocks
+
+
+class VectorFilter(Filter):
+    """Linear-scan filter over (id, new_count, old_count) arrays."""
+
+    BYTES_PER_SLOT = 12
+
+    def __init__(self, capacity: int, ops: OpCounters | None = None) -> None:
+        super().__init__(capacity, ops)
+        # Slot id 0 marks an empty slot; stored ids are key + 1.
+        self._ids = np.zeros(self.capacity, dtype=np.int64)
+        self._new = [0] * self.capacity
+        self._old = [0] * self.capacity
+        self._index: dict[int, int] = {}
+        self._probe_blocks = simd_probe_blocks(self.capacity)
+        # Cached location/value of the minimum new_count.
+        self._min_slot = -1
+        self._min_value = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- lookup / hit path ---------------------------------------------------
+
+    def add_if_present(self, key: int, amount: int) -> bool:
+        ops = self.ops
+        ops.filter_probes += 1
+        ops.filter_probe_blocks += self._probe_blocks
+        slot = self._index.get(key, -1)
+        if slot < 0:
+            return False
+        ops.filter_hits += 1
+        self._new[slot] += amount
+        if slot == self._min_slot:
+            self._rescan_min()
+        return True
+
+    def get_counts(self, key: int) -> tuple[int, int] | None:
+        self.ops.filter_probes += 1
+        self.ops.filter_probe_blocks += self._probe_blocks
+        slot = self._index.get(key, -1)
+        if slot < 0:
+            return None
+        return self._new[slot], self._old[slot]
+
+    # -- structural operations ----------------------------------------------
+
+    def insert(self, key: int, new_count: int, old_count: int) -> None:
+        self._require_not_full()
+        if key in self._index:
+            raise CapacityError(f"key {key} already monitored")
+        slot = int(np.nonzero(self._ids == 0)[0][0])
+        self._ids[slot] = key + 1
+        self._new[slot] = new_count
+        self._old[slot] = old_count
+        self._index[key] = slot
+        if self._min_slot < 0 or new_count < self._min_value:
+            self._min_slot = slot
+            self._min_value = new_count
+
+    def min_new_count(self) -> int:
+        """Minimum new_count; charged as the full linear scan it costs in C."""
+        if self._min_slot < 0:
+            raise CapacityError("min_new_count on an empty filter")
+        self.ops.min_scans += self.capacity
+        return self._min_value
+
+    def replace_min(
+        self, key: int, new_count: int, old_count: int
+    ) -> FilterEntry:
+        if self._min_slot < 0:
+            raise CapacityError("replace_min on an empty filter")
+        if key in self._index:
+            raise CapacityError(f"key {key} already monitored")
+        slot = self._min_slot
+        evicted = FilterEntry(
+            key=int(self._ids[slot]) - 1,
+            new_count=self._new[slot],
+            old_count=self._old[slot],
+        )
+        del self._index[evicted.key]
+        self._ids[slot] = key + 1
+        self._new[slot] = new_count
+        self._old[slot] = old_count
+        self._index[key] = slot
+        self._rescan_min()
+        return evicted
+
+    def set_counts(self, key: int, new_count: int, old_count: int) -> None:
+        slot = self._index[key]
+        self._new[slot] = new_count
+        self._old[slot] = old_count
+        self._rescan_min()
+
+    def entries(self) -> list[FilterEntry]:
+        return [
+            FilterEntry(key, self._new[slot], self._old[slot])
+            for key, slot in self._index.items()
+        ]
+
+    # -- internals -------------------------------------------------------
+
+    def _rescan_min(self) -> None:
+        """Recompute the cached minimum over occupied slots."""
+        if not self._index:
+            self._min_slot = -1
+            self._min_value = 0
+            return
+        new = self._new
+        best_slot = -1
+        best_value = 0
+        for slot in self._index.values():
+            if best_slot < 0 or new[slot] < best_value:
+                best_slot = slot
+                best_value = new[slot]
+        self._min_slot = best_slot
+        self._min_value = best_value
+
+    @property
+    def id_array(self) -> np.ndarray:
+        """The raw id array (for the faithful-SIMD equivalence tests)."""
+        view = self._ids.view()
+        view.setflags(write=False)
+        return view

@@ -1,0 +1,117 @@
+"""Sliding-window frequency estimation via turnstile deletions.
+
+An extension enabled by the paper's Appendix A: because ASketch supports
+strict-turnstile negative updates, an *exact* count-based sliding window
+follows directly — when tuple ``t`` arrives, the tuple that fell out of
+the window is removed with ``remove()``.  Estimates then cover exactly
+the last ``window_size`` tuples with the usual one-sided guarantee, and
+top-k over the window comes straight from the filter.
+
+The window buffer itself (a ring of the last ``window_size`` keys) costs
+O(window) memory — the synopsis does not replace the buffer (no
+small-space sliding-window sketch can be exact); what it buys is O(1)
+queries, filter-resident heavy hitters, and constant-time maintenance
+per arrival, versus recounting the buffer on every query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError
+
+
+class SlidingWindowASketch:
+    """ASketch over the most recent ``window_size`` tuples.
+
+    Parameters
+    ----------
+    window_size:
+        Number of most-recent tuples the synopsis covers.
+    total_bytes, filter_items, filter_kind, num_hashes, seed:
+        Forwarded to the inner :class:`~repro.core.asketch.ASketch`.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        total_bytes: int,
+        filter_items: int = 32,
+        filter_kind: str = "relaxed-heap",
+        num_hashes: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if window_size < 1:
+            raise ConfigurationError(
+                f"window_size must be >= 1, got {window_size}"
+            )
+        self.window_size = int(window_size)
+        self._asketch = ASketch(
+            total_bytes=total_bytes,
+            filter_items=filter_items,
+            filter_kind=filter_kind,
+            num_hashes=num_hashes,
+            seed=seed,
+        )
+        self._ring = np.zeros(self.window_size, dtype=np.int64)
+        self._position = 0
+        self._count = 0
+
+    @property
+    def asketch(self) -> ASketch:
+        """The inner synopsis (read access)."""
+        return self._asketch
+
+    def __len__(self) -> int:
+        """Number of tuples currently inside the window."""
+        return min(self._count, self.window_size)
+
+    @property
+    def is_saturated(self) -> bool:
+        """Whether the window has filled (arrivals now evict)."""
+        return self._count >= self.window_size
+
+    # -- ingestion --------------------------------------------------------
+
+    def process(self, key: int) -> None:
+        """Admit one tuple, evicting the tuple that left the window."""
+        if self.is_saturated:
+            expired = int(self._ring[self._position])
+            self._asketch.remove(expired, 1)
+        self._ring[self._position] = key
+        self._position = (self._position + 1) % self.window_size
+        self._count += 1
+        self._asketch.update(key, 1)
+
+    def process_stream(self, keys: np.ndarray) -> None:
+        """Admit a key array in order."""
+        process = self.process
+        for key in keys.tolist():
+            process(key)
+
+    # -- queries ----------------------------------------------------------
+
+    def query(self, key: int) -> int:
+        """One-sided estimate of the key's count inside the window."""
+        return self._asketch.query(key)
+
+    estimate = query
+
+    def query_batch(self, keys) -> list[int]:
+        """Window-scoped point queries for many keys."""
+        return self._asketch.query_batch(keys)
+
+    estimate_batch = query_batch
+
+    def top_k(self, k: int | None = None) -> list[tuple[int, int]]:
+        """Top-k frequent items of the current window (from the filter)."""
+        return self._asketch.top_k(k)
+
+    def window_contents(self) -> np.ndarray:
+        """The keys currently inside the window, oldest first."""
+        if not self.is_saturated:
+            return self._ring[: self._count].copy()
+        return np.concatenate(
+            [self._ring[self._position :], self._ring[: self._position]]
+        )

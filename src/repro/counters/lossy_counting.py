@@ -1,0 +1,78 @@
+"""Lossy Counting (Manku & Motwani) — an extension counter baseline.
+
+Not one of the paper's comparison points, but a standard counter-based
+summary included so the benchmark suite can situate ASketch against the
+wider frequent-items landscape surveyed in the paper's related work
+(Manerikar & Palpanas [26] benchmark it alongside Space Saving).
+
+The stream is conceptually divided into windows of ``ceil(1/epsilon)``
+items.  Each tracked item carries (count, Delta) where Delta bounds the
+count mass it may have missed before being tracked; at every window
+boundary, items with ``count + Delta <= current_window`` are pruned.
+Guarantees: counts underestimate by at most ``epsilon * N`` and every item
+with frequency above ``epsilon * N`` survives.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class LossyCounting:
+    """Classic epsilon-deficient lossy counting."""
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {epsilon}"
+            )
+        self.epsilon = float(epsilon)
+        self.window_size = int(math.ceil(1.0 / epsilon))
+        self._entries: dict[int, tuple[int, int]] = {}  # key -> (count, delta)
+        self._items_seen = 0
+        self._current_window = 1
+
+    def update(self, key: int, amount: int = 1) -> None:
+        """Process one occurrence of ``key``."""
+        count, delta = self._entries.get(key, (0, self._current_window - 1))
+        self._entries[key] = (count + amount, delta)
+        self._items_seen += 1
+        if self._items_seen % self.window_size == 0:
+            self._prune()
+            self._current_window += 1
+
+    def update_batch(self, keys: np.ndarray, amount: int = 1) -> None:
+        """Sequentially process a key array (pruning is order-dependent)."""
+        for key in keys.tolist():
+            self.update(int(key), amount)
+
+    def _prune(self) -> None:
+        window = self._current_window
+        self._entries = {
+            key: (count, delta)
+            for key, (count, delta) in self._entries.items()
+            if count + delta > window
+        }
+
+    def estimate(self, key: int) -> int:
+        """Tracked (under)count of a key; 0 when pruned or never seen."""
+        count, _ = self._entries.get(key, (0, 0))
+        return count
+
+    def frequent_items(self, support: float) -> list[tuple[int, int]]:
+        """Items with estimated frequency >= (support - epsilon) * N."""
+        threshold = (support - self.epsilon) * self._items_seen
+        found = [
+            (key, count)
+            for key, (count, _) in self._entries.items()
+            if count >= threshold
+        ]
+        found.sort(key=lambda pair: pair[1], reverse=True)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,109 @@
+"""Misra-Gries frequent-items counter (reference [28] of the paper).
+
+Maintains at most ``k`` (key, count) pairs.  A hit increments; a miss with
+a free slot inserts; a miss with a full table decrements *every* counter,
+discarding zeros — the classical "repeated elements" algorithm.  Any item
+with true frequency above ``N / (k + 1)`` is guaranteed to be monitored,
+and each monitored count underestimates the true count by at most the
+total decrement amount.
+
+In this library Misra-Gries serves as the high/low-frequency classifier
+inside Frequency-Aware Counting (FCM), exactly as in the paper's baseline
+description (§7.1).  The classifier lookup uses the same array layout as
+the ASketch filter so the cost model charges it the same SIMD probe costs
+("For lookup in the MG counter, we use the same hardware-conscious
+SIMD-enabled lookup code that we use for the filter lookup").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.hardware.costs import OpCounters
+from repro.simd.engine import simd_probe_blocks
+
+
+class MisraGries:
+    """Array-backed Misra-Gries summary with SIMD-costed lookup.
+
+    Parameters
+    ----------
+    capacity:
+        ``k``, the maximum number of monitored items.
+    ops:
+        Optional shared operation record.
+    """
+
+    def __init__(self, capacity: int, ops: OpCounters | None = None) -> None:
+        if capacity < 1:
+            raise CapacityError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.ops = ops if ops is not None else OpCounters()
+        # Slot id 0 is the empty marker; stored ids are key + 1.  The dict
+        # index mirrors the id array for O(1) Python-side lookup; the cost
+        # model still charges the SIMD scan the C implementation performs.
+        self._ids = np.zeros(self.capacity, dtype=np.int64)
+        self._counts = [0] * self.capacity
+        self._index: dict[int, int] = {}
+        self._free = list(range(capacity - 1, -1, -1))
+        #: Total per-counter decrement applied so far (error bound).
+        self.total_decrements = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _find(self, key: int) -> int:
+        self.ops.filter_probes += 1
+        self.ops.filter_probe_blocks += simd_probe_blocks(self.capacity)
+        return self._index.get(key, -1)
+
+    def update(self, key: int, amount: int = 1) -> None:
+        """Process one stream occurrence of ``key``."""
+        self.ops.mg_ops += 1
+        index = self._find(key)
+        if index >= 0:
+            self._counts[index] += amount
+            return
+        if self._free:
+            slot = self._free.pop()
+            self._ids[slot] = key + 1
+            self._counts[slot] = amount
+            self._index[key] = slot
+            return
+        self._decrement_all(amount)
+
+    def _decrement_all(self, amount: int) -> None:
+        """Decrement every counter by ``amount``, freeing exhausted slots."""
+        self.total_decrements += amount
+        for slot in range(self.capacity):
+            if self._ids[slot] == 0:
+                continue
+            self._counts[slot] -= amount
+            if self._counts[slot] <= 0:
+                del self._index[int(self._ids[slot]) - 1]
+                self._ids[slot] = 0
+                self._counts[slot] = 0
+                self._free.append(slot)
+        self.ops.mg_ops += self.capacity
+
+    def count_of(self, key: int) -> int | None:
+        """Monitored (under)count of ``key``, or None if not monitored."""
+        index = self._find(key)
+        if index < 0:
+            return None
+        return self._counts[index]
+
+    def is_frequent(self, key: int) -> bool:
+        """Whether the key is currently monitored (FCM's classifier test)."""
+        return self._find(key) >= 0
+
+    def items(self) -> list[tuple[int, int]]:
+        """All monitored (key, count) pairs, descending count."""
+        pairs = [
+            (int(self._ids[slot]) - 1, self._counts[slot])
+            for slot in range(self.capacity)
+            if self._ids[slot] != 0
+        ]
+        pairs.sort(key=lambda pair: pair[1], reverse=True)
+        return pairs

@@ -1,0 +1,284 @@
+"""Stream-Summary: the bucket-list structure of Metwally et al. [27].
+
+A Stream-Summary monitors a bounded set of items.  Items live in *buckets*
+— one bucket per distinct count value — and buckets form a doubly-linked
+list sorted by count, so the minimum-count item is reachable in O(1) and an
+increment moves an item to the neighbouring bucket in O(1).  A hash map
+gives O(1) item lookup.
+
+This module provides the structure itself; :class:`repro.counters.
+space_saving.SpaceSaving` builds the classical algorithm on top, and
+:class:`repro.core.filters.stream_summary.StreamSummaryFilter` reuses it as
+one of the four ASketch filter implementations (§6.1), where its pointer
+overhead (~4 pointers/item) is exactly the space disadvantage Table 6
+reports.
+
+Every pointer-chasing step and hash-map access is charged to the owning
+structure's :class:`~repro.hardware.costs.OpCounters` so that the cost
+model reproduces the paper's observation that Stream-Summary lookups are
+expensive relative to a SIMD linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import CapacityError
+from repro.hardware.costs import OpCounters
+
+
+class _Node:
+    """One monitored item: key, auxiliary payload, and list linkage."""
+
+    __slots__ = ("key", "payload", "bucket", "prev", "next")
+
+    def __init__(self, key: int, payload: object = None) -> None:
+        self.key = key
+        self.payload = payload
+        self.bucket: Optional["_Bucket"] = None
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class _Bucket:
+    """All items sharing one count value, as a doubly-linked node list."""
+
+    __slots__ = ("count", "head", "prev", "next")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.head: Optional[_Node] = None
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+
+    def attach(self, node: _Node) -> None:
+        node.bucket = self
+        node.prev = None
+        node.next = self.head
+        if self.head is not None:
+            self.head.prev = node
+        self.head = node
+
+    def detach(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        node.prev = None
+        node.next = None
+        node.bucket = None
+
+    @property
+    def empty(self) -> bool:
+        return self.head is None
+
+
+class StreamSummary:
+    """Bounded set of (key, count) pairs with O(1) min and increment.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of monitored items.
+    ops:
+        Optional shared operation record; a fresh one is created otherwise.
+    """
+
+    def __init__(self, capacity: int, ops: OpCounters | None = None) -> None:
+        if capacity < 1:
+            raise CapacityError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.ops = ops if ops is not None else OpCounters()
+        self._nodes: dict[int, _Node] = {}
+        self._min_bucket: Optional[_Bucket] = None
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: int) -> bool:
+        self.ops.hashtable_ops += 1
+        return key in self._nodes
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the summary monitors its full capacity of items."""
+        return len(self._nodes) >= self.capacity
+
+    def count_of(self, key: int) -> int | None:
+        """Count of a monitored key, or None if not monitored."""
+        self.ops.hashtable_ops += 1
+        node = self._nodes.get(key)
+        if node is None:
+            return None
+        self.ops.pointer_derefs += 1
+        assert node.bucket is not None
+        return node.bucket.count
+
+    def payload_of(self, key: int) -> object | None:
+        """Auxiliary payload of a monitored key (None if not monitored)."""
+        node = self._nodes.get(key)
+        return None if node is None else node.payload
+
+    def set_payload(self, key: int, payload: object) -> None:
+        """Replace the payload of a monitored key."""
+        self._nodes[key].payload = payload
+
+    def min_item(self) -> tuple[int, int, object]:
+        """(key, count, payload) of one minimum-count item.
+
+        Raises :class:`CapacityError` when the summary is empty.
+        """
+        if self._min_bucket is None:
+            raise CapacityError("min_item on an empty StreamSummary")
+        self.ops.pointer_derefs += 2
+        node = self._min_bucket.head
+        assert node is not None
+        return node.key, self._min_bucket.count, node.payload
+
+    @property
+    def min_count(self) -> int:
+        """Smallest monitored count (0 when empty, matching Space Saving)."""
+        if self._min_bucket is None:
+            return 0
+        return self._min_bucket.count
+
+    def items(self) -> Iterator[tuple[int, int, object]]:
+        """All (key, count, payload) triples, ascending count order."""
+        bucket = self._min_bucket
+        while bucket is not None:
+            node = bucket.head
+            while node is not None:
+                yield node.key, bucket.count, node.payload
+                node = node.next
+            bucket = bucket.next
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """The k highest (key, count) pairs, descending count."""
+        ordered = sorted(
+            ((key, count) for key, count, _ in self.items()),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        return ordered[:k]
+
+    # -- mutation -------------------------------------------------------
+
+    def insert(self, key: int, count: int, payload: object = None) -> None:
+        """Insert a new key with an initial count.
+
+        Raises :class:`CapacityError` if full or the key already exists;
+        callers evict first (see :meth:`evict_min`).
+        """
+        self.ops.hashtable_ops += 1
+        if key in self._nodes:
+            raise CapacityError(f"key {key} already monitored")
+        if self.is_full:
+            raise CapacityError("StreamSummary full; evict before inserting")
+        node = _Node(key, payload)
+        self._nodes[key] = node
+        self._attach_at_count(node, count)
+
+    def increment(self, key: int, amount: int = 1) -> int:
+        """Increase a monitored key's count; returns the new count."""
+        self.ops.hashtable_ops += 1
+        node = self._nodes[key]
+        assert node.bucket is not None
+        return self._move_to_count(node, node.bucket.count + amount)
+
+    def decrement(self, key: int, amount: int = 1) -> int:
+        """Decrease a monitored key's count (deletion support)."""
+        self.ops.hashtable_ops += 1
+        node = self._nodes[key]
+        assert node.bucket is not None
+        new_count = node.bucket.count - amount
+        if new_count < 0:
+            raise CapacityError("decrement below zero")
+        return self._move_to_count(node, new_count)
+
+    def remove(self, key: int) -> tuple[int, object]:
+        """Remove a monitored key; returns (count, payload)."""
+        self.ops.hashtable_ops += 1
+        node = self._nodes.pop(key)
+        bucket = node.bucket
+        assert bucket is not None
+        count = bucket.count
+        bucket.detach(node)
+        self.ops.pointer_derefs += 2
+        if bucket.empty:
+            self._unlink_bucket(bucket)
+        return count, node.payload
+
+    def evict_min(self) -> tuple[int, int, object]:
+        """Remove and return (key, count, payload) of a minimum-count item."""
+        key, count, payload = self.min_item()
+        self.remove(key)
+        return key, count, payload
+
+    # -- internal bucket-list maintenance --------------------------------
+
+    def _attach_at_count(self, node: _Node, count: int) -> None:
+        """Place a detached node into the bucket for ``count``."""
+        bucket = self._find_or_create_bucket(count)
+        bucket.attach(node)
+        self.ops.pointer_derefs += 2
+
+    def _move_to_count(self, node: _Node, new_count: int) -> int:
+        old_bucket = node.bucket
+        assert old_bucket is not None
+        old_bucket.detach(node)
+        self.ops.pointer_derefs += 2
+        # Increments can resume the bucket walk from the old position;
+        # decrements (deletions) must restart from the minimum bucket.
+        hint = old_bucket if new_count >= old_bucket.count else None
+        bucket = self._find_or_create_bucket(new_count, hint=hint)
+        bucket.attach(node)
+        self.ops.pointer_derefs += 2
+        if old_bucket.empty:
+            self._unlink_bucket(old_bucket)
+        return new_count
+
+    def _find_or_create_bucket(
+        self, count: int, hint: Optional[_Bucket] = None
+    ) -> _Bucket:
+        """Locate the bucket for a count, creating and linking if needed.
+
+        Scans from ``hint`` (a bucket known to have a count <= ``count``)
+        or from the minimum bucket; unit increments move items to the
+        neighbouring bucket so the walk is O(1) in Space-Saving usage, and
+        every step is charged as a pointer dereference.
+        """
+        if hint is not None and hint.count <= count:
+            previous = hint.prev
+            bucket: Optional[_Bucket] = hint
+        else:
+            previous = None
+            bucket = self._min_bucket
+        while bucket is not None and bucket.count < count:
+            self.ops.pointer_derefs += 1
+            previous = bucket
+            bucket = bucket.next
+        if bucket is not None and bucket.count == count:
+            return bucket
+        created = _Bucket(count)
+        created.prev = previous
+        created.next = bucket
+        if previous is not None:
+            previous.next = created
+        else:
+            self._min_bucket = created
+        if bucket is not None:
+            bucket.prev = created
+        return created
+
+    def _unlink_bucket(self, bucket: _Bucket) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._min_bucket = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+        self.ops.pointer_derefs += 2

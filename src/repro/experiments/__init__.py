@@ -1,0 +1,28 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment is a module exposing ``run(config) -> ExperimentResult``
+and registered in :mod:`repro.experiments.registry` under the paper's
+artefact id (``table1`` ... ``table7``, ``figure3`` ... ``figure17``).
+``repro-asketch run <id>`` (or ``python -m repro.cli run <id>``) prints
+the reproduced rows; the pytest-benchmark suite under ``benchmarks/``
+wraps the same modules.
+
+Scaling: the paper's streams (32M-461M tuples) are scaled down through
+:class:`~repro.experiments.config.ExperimentConfig` (see DESIGN.md,
+substitution 6); absolute error magnitudes shrink with stream size but
+every between-method comparison is scale-stable.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import experiment_ids, get_experiment
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import format_result, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "experiment_ids",
+    "format_result",
+    "get_experiment",
+    "run_experiment",
+]

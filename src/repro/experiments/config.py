@@ -1,0 +1,81 @@
+"""Experiment configuration: sizes, scale factor, shared parameters.
+
+The paper's settings (§7.1): synopsis 16KB-128KB (most experiments at
+128KB), ``w = 8`` hash rows, Relaxed-Heap filter of 32 items (~0.4KB),
+synthetic streams of 32M tuples over 8M distinct items (4:1 ratio).
+
+The default configuration keeps every *structural* parameter (synopsis
+bytes, ``w``, filter size) at the paper's values and scales only the
+stream: 400K tuples over 100K distinct items, the same 4:1 ratio.  The
+``scale`` knob multiplies stream lengths (and the distinct domain) for
+heavier or lighter runs; sweep experiments additionally halve the stream
+to keep the full suite tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment modules."""
+
+    #: Multiplies every stream length (and the distinct domain with it).
+    scale: float = 1.0
+    #: Base synthetic stream length at scale 1.0.
+    base_stream_size: int = 400_000
+    #: Base distinct-domain size at scale 1.0 (the paper's 4:1 ratio).
+    base_distinct: int = 100_000
+    #: Total synopsis budget (paper default 128KB).
+    synopsis_bytes: int = 128 * 1024
+    #: Number of sketch rows ``w`` (paper fixes 8).
+    num_hashes: int = 8
+    #: ASketch filter capacity in items (paper default 32, ~0.4KB).
+    filter_items: int = 32
+    #: ASketch filter implementation (paper's default comparator).
+    filter_kind: str = "relaxed-heap"
+    #: Queries per accuracy/throughput measurement.
+    n_queries: int = 20_000
+    #: Independent repetitions for the max-over-runs statistics (the
+    #: paper uses 100; scaled runs default lower).
+    runs: int = 5
+    #: Master seed; per-run seeds derive deterministically from it.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {self.scale}")
+        if self.runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {self.runs}")
+
+    @property
+    def stream_size(self) -> int:
+        """Scaled synthetic stream length."""
+        return max(1, int(self.base_stream_size * self.scale))
+
+    @property
+    def distinct(self) -> int:
+        """Scaled distinct-domain size."""
+        return max(1, int(self.base_distinct * self.scale))
+
+    @property
+    def sweep_stream_size(self) -> int:
+        """Stream length used by multi-point sweep experiments."""
+        return max(1, self.stream_size // 2)
+
+    @property
+    def sweep_distinct(self) -> int:
+        """Distinct-domain size used by sweep experiments."""
+        return max(1, self.distinct // 2)
+
+    @property
+    def queries(self) -> int:
+        """Scaled query-set size."""
+        return max(1, min(self.n_queries, int(self.n_queries * self.scale)))
+
+    def with_scale(self, scale: float) -> "ExperimentConfig":
+        """A copy at a different scale (benchmarks use small scales)."""
+        return replace(self, scale=scale)

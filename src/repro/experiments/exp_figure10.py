@@ -1,0 +1,68 @@
+"""Figure 10: throughput and observed error on the real-data surrogates.
+
+Paper readings (128KB synopsis, filter 32):
+
+* IP-trace (skew ~0.9): ASketch ~5% faster than Count-Min; ASketch-FCM
+  ~30% faster than Count-Min and ~40% over H-UDAF/FCM; errors: ASketch
+  ~20% below CMS/H-UDAF; ASketch-FCM >22% below FCM.
+* Kosarak (skew ~1.0): ASketch ~20% over Count-Min, ~10% over H-UDAF;
+  ASketch-FCM ~70% over FCM; errors: ASketch ~32% below CMS/H-UDAF;
+  ASketch-FCM ~48% below FCM.
+
+Both datasets are matched-statistics surrogates (DESIGN.md subs. 3-4).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    METHOD_LABELS,
+    build_method,
+    measure_query_phase,
+    measure_update_phase,
+    modeled_throughput,
+    query_set,
+    real_stream,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+from repro.metrics.error import observed_error_percent
+
+METHODS = ("count-min", "asketch", "holistic-udaf", "fcm", "asketch-fcm")
+DATASETS = ("ip-trace", "kosarak")
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rows = []
+    for dataset in DATASETS:
+        stream = real_stream(config, dataset)
+        queries = query_set(stream, config)
+        truths = [stream.exact.count_of(int(key)) for key in queries]
+        for name in METHODS:
+            method = build_method(name, config, seed=config.seed)
+            update = measure_update_phase(method, stream.keys)
+            _, estimates = measure_query_phase(method, queries)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": METHOD_LABELS[name],
+                    "updates/ms (modeled)": modeled_throughput(
+                        update, method
+                    ),
+                    "observed error (%)": observed_error_percent(
+                        estimates, truths
+                    ),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure10",
+        title="Real-world datasets: stream throughput and observed error",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Datasets are matched-statistics surrogates of the paper's "
+            "proprietary IP-trace and the Kosarak click stream.",
+            "Expected ordering: ASketch-FCM fastest and most accurate; "
+            "ASketch modestly above Count-Min at these low skews; H-UDAF "
+            "error ~= Count-Min error.",
+        ],
+    )

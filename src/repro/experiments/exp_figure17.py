@@ -1,0 +1,48 @@
+"""Figure 17 (Appendix B.2): predicted vs achieved filter selectivity.
+
+The §4 closed form assumes the filter holds exactly the true top-|F|
+items; Figure 17 checks how close a real ASketch run gets.  The paper
+reads near-coincident curves (e.g. predicted 0.75 vs achieved 0.76 at
+skew 1.0): after a warm-up the heavy items are exchanged into the filter
+and stay there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import predicted_filter_selectivity
+from repro.experiments.common import build_method, sweep_stream
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    skews = [round(s, 2) for s in np.arange(0.0, 3.01, 0.25)]
+    rows = []
+    for skew in skews:
+        stream = sweep_stream(config, skew)
+        predicted = predicted_filter_selectivity(
+            skew, config.sweep_distinct, config.filter_items
+        )
+        asketch = build_method("asketch", config)
+        asketch.process_stream(stream.keys)
+        rows.append(
+            {
+                "skew": skew,
+                "predicted N2/N": predicted,
+                "achieved N2/N": asketch.achieved_selectivity,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="figure17",
+        title="Predicted vs achieved filter selectivity (|F| = "
+        f"{config.filter_items})",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Expected shape: the two curves almost coincide at every "
+            "skew, the achieved value sitting slightly above the "
+            "prediction (paper: 0.76 vs 0.75 at skew 1.0).",
+        ],
+    )

@@ -1,0 +1,43 @@
+"""Figure 3: filter selectivity vs skew for |F| in {8, 32, 64, 128}.
+
+The closed-form curve of §4: the fraction ``N2/N`` of the stream mass
+that overflows a perfect filter holding the true top-|F| items of a Zipf
+distribution.  The paper's headline readings at skew 1.5: the top-32
+items carry ~80% of all counts, so only ~20% reaches the sketch; and
+growing the filter beyond ~32 items barely lowers the selectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import predicted_filter_selectivity
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+
+FILTER_SIZES = (8, 32, 64, 128)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    skews = [round(s, 2) for s in np.arange(0.0, 3.01, 0.25)]
+    rows = []
+    for skew in skews:
+        row: dict[str, object] = {"skew": skew}
+        for size in FILTER_SIZES:
+            row[f"|F|={size}"] = predicted_filter_selectivity(
+                skew, config.distinct, size
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="figure3",
+        title=(
+            "Filter selectivity (N2/N) vs Zipf skew, "
+            f"domain {config.distinct:,} items"
+        ),
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Paper reading at skew 1.5: top-32 items carry ~80% of counts "
+            "(selectivity ~0.2); beyond |F|~32 the curves nearly coincide.",
+        ],
+    )

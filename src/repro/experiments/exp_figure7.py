@@ -1,0 +1,53 @@
+"""Figure 7: observed error vs skew for ASketch, Count-Min, H-UDAF.
+
+Paper shape (128KB, skews 0.8-1.8): H-UDAF tracks Count-Min almost
+exactly (it answers from the same sketch); ASketch pulls away as skew
+grows — e.g. at skew 1.4 the paper reads 4e-3 % for CMS/H-UDAF vs
+9e-4 % for ASketch, reaching ~25x better by skew 1.8 (Table 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    METHOD_LABELS,
+    accuracy_on_queries,
+    build_method,
+    query_set,
+    sweep_stream,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+
+METHODS = ("asketch", "count-min", "holistic-udaf")
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    skews = [round(s, 2) for s in np.arange(0.8, 1.81, 0.2)]
+    rows = []
+    for skew in skews:
+        stream = sweep_stream(config, skew)
+        queries = query_set(stream, config)
+        row: dict[str, object] = {"skew": skew}
+        for name in METHODS:
+            method = build_method(name, config, seed=config.seed)
+            method.process_stream(stream.keys)
+            row[f"{METHOD_LABELS[name]} err (%)"] = accuracy_on_queries(
+                method, stream, queries
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="figure7",
+        title=(
+            "Observed error vs skew, "
+            f"{config.synopsis_bytes // 1024}KB synopsis"
+        ),
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Expected shape: H-UDAF ~= Count-Min at every skew; ASketch "
+            "increasingly better with skew (paper: ~4x at 1.4, ~25x at "
+            "1.8).",
+        ],
+    )

@@ -1,0 +1,54 @@
+"""Figure 8: ASketch-FCM vs FCM observed error.
+
+The generality claim: swapping Count-Min for an FCM-style sketch under
+the same filter yields the same kind of improvement — the paper reads a
+13x gap at skew 1.6.  FCM alone is already more accurate than Count-Min,
+so this isolates the filter's contribution from the backend's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    accuracy_on_queries,
+    build_method,
+    query_set,
+    sweep_stream,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    skews = [round(s, 2) for s in np.arange(0.8, 1.81, 0.2)]
+    rows = []
+    for skew in skews:
+        stream = sweep_stream(config, skew)
+        queries = query_set(stream, config)
+        fcm = build_method("fcm", config)
+        fcm.process_stream(stream.keys)
+        fcm_error = accuracy_on_queries(fcm, stream, queries)
+        asketch_fcm = build_method("asketch-fcm", config)
+        asketch_fcm.process_stream(stream.keys)
+        asketch_error = accuracy_on_queries(asketch_fcm, stream, queries)
+        rows.append(
+            {
+                "skew": skew,
+                "FCM err (%)": fcm_error,
+                "ASketch-FCM err (%)": asketch_error,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="figure8",
+        title=(
+            "Observed error: ASketch over an FCM backend vs plain FCM, "
+            f"{config.synopsis_bytes // 1024}KB"
+        ),
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Expected shape: ASketch-FCM below FCM at every skew, the gap "
+            "widening with skew (paper: ~13x at skew 1.6).",
+        ],
+    )

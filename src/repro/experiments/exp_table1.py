@@ -1,0 +1,74 @@
+"""Table 1: ASketch vs Count-Min, FCM, Holistic UDAFs at Zipf 1.5, 128KB.
+
+Paper numbers (32M stream / 8M distinct, filter 32 items):
+
+    method          updates/ms   queries/ms   observed error (%)
+    Count-Min            6 481        6 892        0.0024
+    FCM                  6 165        7 551        0.0013
+    Holistic UDAFs      17 508        6 319        0.0025
+    ASketch             26 739       30 795        0.0004
+
+The reproduced shape: ASketch fastest on both update and query by ~4x
+over Count-Min; H-UDAF fast on updates but sketch-bound on queries; FCM
+slightly slower than Count-Min on updates but more accurate; ASketch the
+most accurate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    METHOD_LABELS,
+    build_method,
+    full_stream,
+    measure_query_phase,
+    measure_update_phase,
+    modeled_throughput,
+    query_set,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+from repro.metrics.error import observed_error_percent
+
+SKEW = 1.5
+METHODS = ("count-min", "fcm", "holistic-udaf", "asketch")
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    stream = full_stream(config, SKEW)
+    queries = query_set(stream, config)
+    truths = [stream.exact.count_of(int(key)) for key in queries]
+
+    rows = []
+    for name in METHODS:
+        method = build_method(name, config, seed=config.seed)
+        update = measure_update_phase(method, stream.keys)
+        query, estimates = measure_query_phase(method, queries)
+        rows.append(
+            {
+                "method": METHOD_LABELS[name],
+                "updates/ms (modeled)": modeled_throughput(update, method),
+                "queries/ms (modeled)": modeled_throughput(query, method),
+                "updates/ms (wall)": update.wall_throughput_items_per_ms,
+                "queries/ms (wall)": query.wall_throughput_items_per_ms,
+                "observed error (%)": observed_error_percent(
+                    estimates, truths
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title=(
+            "ASketch vs other sketch-based methods "
+            f"(Zipf {SKEW}, {config.synopsis_bytes // 1024}KB, "
+            f"stream {len(stream):,})"
+        ),
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Paper: CMS 6481/6892/0.0024, FCM 6165/7551/0.0013, "
+            "H-UDAF 17508/6319/0.0025, ASketch 26739/30795/0.0004.",
+            "Modeled throughput uses the calibrated cost model "
+            "(DESIGN.md substitution 1); wall throughput is Python-scaled "
+            "and shape-only.",
+        ],
+    )

@@ -1,0 +1,59 @@
+"""Table 4: observed-error improvement of ASketch over Count-Min.
+
+Paper (64KB and 128KB synopses): improvement factors grow with skew —
+1.0x at 0.8, 1.3x at 1.0, ~2.2x at 1.2, ~5.2x at 1.4, ~11x at 1.6,
+~24-28x at 1.8.  The reproduced factors should be ~1 at skew 0.8 and
+grow monotonically (noise aside) into the tens by skew 1.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.common import (
+    accuracy_on_queries,
+    build_method,
+    query_set,
+    sweep_stream,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+
+SYNOPSIS_SIZES_KB = (64, 128)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    skews = [round(s, 2) for s in np.arange(0.8, 1.81, 0.2)]
+    rows = []
+    for skew in skews:
+        row: dict[str, object] = {"skew": skew}
+        for size_kb in SYNOPSIS_SIZES_KB:
+            sized = replace(config, synopsis_bytes=size_kb * 1024)
+            stream = sweep_stream(sized, skew)
+            queries = query_set(stream, sized)
+            count_min = build_method("count-min", sized)
+            count_min.process_stream(stream.keys)
+            cms_error = accuracy_on_queries(count_min, stream, queries)
+            asketch = build_method("asketch", sized)
+            asketch.process_stream(stream.keys)
+            asketch_error = accuracy_on_queries(asketch, stream, queries)
+            if asketch_error == 0:
+                improvement = float("inf") if cms_error > 0 else 1.0
+            else:
+                improvement = cms_error / asketch_error
+            row[f"x improvement ({size_kb}KB)"] = improvement
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Observed-error improvement of ASketch over Count-Min",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Paper: 1.0/1.3/2.2-2.3/5.2-5.3/10.8-11.0/23.9-28.0 for skews "
+            "0.8-1.8.",
+            "'inf' means ASketch achieved zero observed error on the "
+            "query sample (common at high skew).",
+        ],
+    )

@@ -1,0 +1,60 @@
+"""Table 6: accuracy of ASketch under the four filter implementations.
+
+Paper (128KB ASketch, 0.4KB filter, Zipf 1.5): Vector, Strict-Heap and
+Relaxed-Heap all read 0.0002% observed error (identical space per slot,
+so identical 32-item capacity); Stream-Summary reads 0.0005% because its
+100-byte slots fit only 4 items in the same budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.asketch import ASketch
+from repro.experiments.common import (
+    accuracy_on_queries,
+    query_set,
+    sweep_stream,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+from repro.experiments.exp_figure14 import FILTER_BUDGET_BYTES, _capacity_for
+
+SKEW = 1.5
+FILTER_KINDS = ("stream-summary", "vector", "relaxed-heap", "strict-heap")
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    stream = sweep_stream(config, SKEW)
+    queries = query_set(stream, config)
+    rows = []
+    for kind in FILTER_KINDS:
+        capacity = _capacity_for(kind)
+        asketch = ASketch(
+            total_bytes=config.synopsis_bytes,
+            filter_items=capacity,
+            filter_kind=kind,
+            num_hashes=config.num_hashes,
+            seed=config.seed,
+        )
+        asketch.process_stream(stream.keys)
+        rows.append(
+            {
+                "filter type": kind,
+                "items monitored": capacity,
+                "observed error (%)": accuracy_on_queries(
+                    asketch, stream, queries
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table6",
+        title=(
+            "Accuracy by filter implementation "
+            f"(Zipf {SKEW}, filter budget {FILTER_BUDGET_BYTES} bytes)"
+        ),
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "Paper: the three 32-item filters tie at 0.0002%; "
+            "Stream-Summary (4 items in the same bytes) reads 0.0005%.",
+        ],
+    )

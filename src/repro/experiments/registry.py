@@ -1,0 +1,69 @@
+"""Registry mapping paper artefact ids to experiment modules."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.errors import UnknownExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+
+#: artefact id -> (module name under repro.experiments, short description)
+_EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "table1": ("exp_table1", "Headline comparison: throughput & error, Zipf 1.5"),
+    "table2": ("exp_table2", "Analytic Count-Min vs ASketch comparison"),
+    "figure3": ("exp_figure3", "Filter selectivity vs skew for |F| in {8,32,64,128}"),
+    "table3": ("exp_table3", "Misclassification counts vs Count-Min size"),
+    "figure5": ("exp_figure5", "Stream & query throughput vs skew (4 methods)"),
+    "figure6": ("exp_figure6", "Relative error of misclassified items"),
+    "figure7": ("exp_figure7", "Observed error vs skew: ASketch/CMS/H-UDAF"),
+    "table4": ("exp_table4", "Observed-error improvement factors (64KB/128KB)"),
+    "figure8": ("exp_figure8", "ASketch-FCM vs FCM observed error"),
+    "table5": ("exp_table5", "Precision-at-k of ASketch top-k"),
+    "figure9": ("exp_figure9", "Exchange count vs skew"),
+    "figure10": ("exp_figure10", "Real-data throughput & error (IP-trace, Kosarak)"),
+    "figure11": ("exp_figure11", "Space Saving comparison on Kosarak"),
+    "figure12": ("exp_figure12", "Pipeline parallelism throughput vs skew"),
+    "figure13": ("exp_figure13", "SPMD scaling, 1-32 cores"),
+    "figure14": ("exp_figure14", "Filter implementations: throughput vs skew"),
+    "table6": ("exp_table6", "Filter implementations: accuracy"),
+    "figure15": ("exp_figure15", "Filter-size sensitivity: throughput & error"),
+    "figure16": ("exp_figure16", "Low-frequency-item relative error"),
+    "table7": ("exp_table7", "Top-10 accumulative-error items"),
+    "figure17": ("exp_figure17", "Predicted vs achieved filter selectivity"),
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered artefact ids, tables first then figures."""
+    return sorted(
+        _EXPERIMENTS,
+        key=lambda exp_id: (exp_id.rstrip("0123456789"),
+                            int(exp_id.lstrip("tablefigure"))),
+    )
+
+
+def describe(experiment_id: str) -> str:
+    """Short description of a registered experiment."""
+    _, description = _require(experiment_id)
+    return description
+
+
+def get_experiment(
+    experiment_id: str,
+) -> Callable[[ExperimentConfig], ExperimentResult]:
+    """Resolve an artefact id to its ``run`` callable (lazy import)."""
+    module_name, _ = _require(experiment_id)
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    return module.run
+
+
+def _require(experiment_id: str) -> tuple[str, str]:
+    try:
+        return _EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{', '.join(experiment_ids())}"
+        ) from None

@@ -1,0 +1,78 @@
+"""Generate a single markdown report covering every reproduced artefact.
+
+``repro-asketch report out.md`` runs all registered experiments under
+one configuration and writes their tables (plus environment and
+configuration provenance) into one markdown document — the artifact a
+reproduction reviewer wants to archive next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import describe, experiment_ids
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    header = "| " + " | ".join(result.columns) + " |"
+    divider = "| " + " | ".join("---" for _ in result.columns) + " |"
+    lines = [header, divider]
+    for row in result.rows:
+        cells = []
+        for column in result.columns:
+            value = row[column]
+            if isinstance(value, float):
+                cells.append(f"{value:.6g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def generate_report(
+    config: ExperimentConfig,
+    experiment_subset: list[str] | None = None,
+) -> str:
+    """Run experiments and render one markdown document."""
+    targets = experiment_subset or experiment_ids()
+    sections = [
+        "# ASketch reproduction report",
+        "",
+        f"*Python {platform.python_version()} on {platform.machine()};* "
+        f"*scale {config.scale}, seed {config.seed}, synopsis "
+        f"{config.synopsis_bytes // 1024}KB, filter "
+        f"{config.filter_items} items.*",
+        "",
+    ]
+    for experiment_id in targets:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - start
+        sections.append(f"## {experiment_id}: {result.title}")
+        sections.append("")
+        sections.append(_markdown_table(result))
+        sections.append("")
+        for note in result.notes:
+            sections.append(f"> {note}")
+        sections.append("")
+        sections.append(f"*({describe(experiment_id)}; {elapsed:.1f}s)*")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(
+    path: str | Path,
+    config: ExperimentConfig,
+    experiment_subset: list[str] | None = None,
+) -> Path:
+    """Generate and write the report; returns the output path."""
+    path = Path(path)
+    path.write_text(
+        generate_report(config, experiment_subset), encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,43 @@
+"""Structured experiment output shared by the CLI, benches and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id (``"table1"``, ``"figure5"``, ...).
+    title:
+        Human-readable caption, matching the paper's artefact.
+    columns:
+        Ordered column names; every row dict uses exactly these keys.
+    rows:
+        One dict per printed row (a table row or a figure data point).
+    notes:
+        Free-form remarks: substitutions in effect, scaling caveats, the
+        paper's headline observation the rows should exhibit.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def row_for(self, column: str, value: Any) -> dict[str, Any]:
+        """The first row whose ``column`` equals ``value``."""
+        for row in self.rows:
+            if row[column] == value:
+                return row
+        raise KeyError(f"no row with {column}={value!r}")

@@ -1,0 +1,56 @@
+"""Run experiments by id and render their results as text tables."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import get_experiment
+from repro.experiments.result import ExperimentResult
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Execute one registered experiment under a configuration."""
+    run = get_experiment(experiment_id)
+    return run(config or ExperimentConfig())
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render a result as an aligned text table with title and notes."""
+    header = result.columns
+    body = [[_format_cell(row[column]) for column in header]
+            for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append(
+        "  ".join(name.ljust(widths[i]) for i, name in enumerate(header))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line))
+        )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Multi-seed replication statistics for experiment results.
+
+The paper averages each experimental result over 100 runs (§7.1).  This
+module provides the replication machinery: run an experiment under ``n``
+different seeds and aggregate any numeric column into mean / standard
+deviation / min / max per row — the error bars a careful reproduction
+reports alongside point estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Replication statistics of one numeric cell across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    replicates: int
+
+
+def run_replicates(
+    experiment_id: str,
+    config: ExperimentConfig,
+    n_replicates: int,
+) -> list[ExperimentResult]:
+    """Run one experiment under ``n_replicates`` derived seeds."""
+    if n_replicates < 1:
+        raise ConfigurationError(
+            f"n_replicates must be >= 1, got {n_replicates}"
+        )
+    results = []
+    for replicate in range(n_replicates):
+        seeded = replace(config, seed=config.seed + 1000 * (replicate + 1))
+        results.append(run_experiment(experiment_id, seeded))
+    return results
+
+
+def summarize_column(
+    results: list[ExperimentResult],
+    key_column: str,
+    value_column: str,
+) -> dict[object, ColumnSummary]:
+    """Aggregate one numeric column across replicate results.
+
+    Rows are matched across replicates by their ``key_column`` value
+    (e.g. ``"skew"`` or ``"method"``); every replicate must contain the
+    same key set.
+    """
+    if not results:
+        raise ConfigurationError("summarize_column needs >= 1 result")
+    keys = [row[key_column] for row in results[0].rows]
+    summaries: dict[object, ColumnSummary] = {}
+    for key in keys:
+        values = np.array(
+            [
+                float(result.row_for(key_column, key)[value_column])
+                for result in results
+            ]
+        )
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            finite = values
+        summaries[key] = ColumnSummary(
+            mean=float(finite.mean()),
+            std=float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
+            minimum=float(finite.min()),
+            maximum=float(finite.max()),
+            replicates=int(finite.size),
+        )
+    return summaries
+
+
+def replication_table(
+    experiment_id: str,
+    config: ExperimentConfig,
+    n_replicates: int,
+    key_column: str,
+    value_column: str,
+) -> ExperimentResult:
+    """One-call replication: run, aggregate, and wrap as a result table."""
+    results = run_replicates(experiment_id, config, n_replicates)
+    summaries = summarize_column(results, key_column, value_column)
+    rows = [
+        {
+            key_column: key,
+            f"{value_column} (mean)": summary.mean,
+            f"{value_column} (std)": summary.std,
+            f"{value_column} (min)": summary.minimum,
+            f"{value_column} (max)": summary.maximum,
+        }
+        for key, summary in summaries.items()
+    ]
+    return ExperimentResult(
+        experiment_id=f"{experiment_id}-replicated",
+        title=(
+            f"{experiment_id}: {value_column} over {n_replicates} seeds"
+        ),
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[f"replicates aggregate {value_column} by {key_column}"],
+    )

@@ -1,0 +1,146 @@
+"""Set-associative cache simulation for sketch access patterns.
+
+The cost model (:mod:`repro.hardware.costs`) charges sketch cell traffic
+a *static* per-access cost chosen by which cache level the whole synopsis
+fits into.  That is the paper's own framing ("Our main focus is to
+operate from either the L1 or the L2 cache", §7.1) — but it is an
+assumption, and this module lets the reproduction *check* it: an LRU
+set-associative cache simulator is driven with the actual cell addresses
+a synopsis touches, yielding measured hit ratios per level.
+
+``bench_ablation_cache.py`` uses it to validate the static-residency
+assumption: for a 128KB sketch the simulated L2 hit ratio is near 1 and
+the L1 ratio is poor (compulsory + capacity misses over 4096-column
+rows), while the ASketch filter's handful of hot lines are L1/register
+resident — exactly the split the cost model's constants encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Access statistics of one simulated cache."""
+
+    accesses: int
+    hits: int
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over byte addresses.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total cache capacity.
+    line_bytes:
+        Cache-line size (64 on the paper's Xeon).
+    ways:
+        Associativity (8 for the L5520's L1D and L2).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ConfigurationError("cache parameters must be positive")
+        n_lines = capacity_bytes // line_bytes
+        if n_lines < ways:
+            raise ConfigurationError(
+                "cache too small for the requested associativity"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self.line_bytes = int(line_bytes)
+        self.ways = int(ways)
+        self.n_sets = n_lines // ways
+        # Per set: tags ordered most-recent first (LRU at the end).
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self._accesses = 0
+        self._hits = 0
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on a cache hit."""
+        line = address // self.line_bytes
+        set_index = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets[set_index]
+        self._accesses += 1
+        try:
+            position = ways.index(tag)
+        except ValueError:
+            ways.insert(0, tag)
+            if len(ways) > self.ways:
+                ways.pop()
+            return False
+        ways.pop(position)
+        ways.insert(0, tag)
+        self._hits += 1
+        return True
+
+    def access_many(self, addresses: np.ndarray) -> None:
+        """Touch a sequence of byte addresses in order."""
+        for address in addresses.tolist():
+            self.access(int(address))
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(accesses=self._accesses, hits=self._hits)
+
+    def reset_stats(self) -> None:
+        self._accesses = 0
+        self._hits = 0
+
+
+def sketch_access_trace(
+    sketch, keys: np.ndarray, cell_bytes: int = 4
+) -> np.ndarray:
+    """Byte addresses a Count-Min touches while ingesting ``keys``.
+
+    One address per (row, column) cell access, in stream order; rows are
+    laid out contiguously as in the 2-D array of the paper's Figure 2.
+    """
+    columns = sketch.hash_columns_batch(keys)  # (w, n)
+    row_width = sketch.row_width
+    n = columns.shape[1]
+    addresses = np.empty(columns.shape[0] * n, dtype=np.int64)
+    for row in range(columns.shape[0]):
+        addresses[row::columns.shape[0]] = (
+            (row * row_width + columns[row]) * cell_bytes
+        )
+    return addresses
+
+
+def simulate_sketch_hit_ratios(
+    sketch,
+    keys: np.ndarray,
+    cache_sizes: dict[str, int],
+    line_bytes: int = 64,
+    ways: int = 8,
+) -> dict[str, CacheStats]:
+    """Run a sketch's access trace through one cache per named size."""
+    trace = sketch_access_trace(sketch, keys)
+    results = {}
+    for name, capacity in cache_sizes.items():
+        cache = SetAssociativeCache(capacity, line_bytes, ways)
+        cache.access_many(trace)
+        results[name] = cache.stats
+    return results

@@ -1,0 +1,141 @@
+"""Event-driven two-core pipeline simulation (§6.2, at trace fidelity).
+
+:class:`~repro.hardware.pipeline.PipelineSimulator` prices the §6.2
+pipeline analytically — steady-state throughput is the slowest stage's
+rate.  That abstraction ignores two second-order effects the real
+deployment has:
+
+* the *arrival pattern* of misses: bursts of consecutive misses queue up
+  on the sketch core even when the average rates would balance;
+* the *queue bound*: a full message queue back-pressures the filter
+  core (C0 stalls until C1 drains a slot).
+
+This module replays a measured per-item hit/miss trace (recorded by
+``ASketch.record_misses``) through a discrete-event simulation of the
+two cores with a bounded queue, and reports the finishing time.  With a
+generous queue the result converges to the analytic model (a validation
+test pins this); with a tiny queue the backpressure penalty becomes
+visible — the knob a deployment would actually tune.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.costs import CostModel
+
+
+@dataclass(frozen=True)
+class EventPipelineResult:
+    """Outcome of an event-driven pipeline replay."""
+
+    #: Total simulated cycles until the last miss finished on C1.
+    total_cycles: float
+    #: Throughput over the whole trace, items per millisecond.
+    throughput_items_per_ms: float
+    #: Cycles C0 spent stalled on a full queue.
+    stall_cycles: float
+    #: Largest queue occupancy observed.
+    max_queue_depth: int
+
+    @property
+    def stall_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.stall_cycles / self.total_cycles
+
+
+class EventDrivenPipeline:
+    """Replay a hit/miss trace through two cores and a bounded queue.
+
+    Parameters
+    ----------
+    cost_model:
+        Supplies the clock frequency for cycle->time conversion.
+    hit_cycles:
+        C0 cycles for a filter hit (probe + aggregate).
+    miss_cycles:
+        C0 cycles for a miss (probe + message send).
+    sketch_cycles:
+        C1 cycles per forwarded item (receive + w hash updates).
+    queue_capacity:
+        Bounded message-queue slots between the cores.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        *,
+        hit_cycles: float,
+        miss_cycles: float,
+        sketch_cycles: float,
+        queue_capacity: int = 64,
+    ) -> None:
+        if min(hit_cycles, miss_cycles, sketch_cycles) <= 0:
+            raise ConfigurationError("per-stage cycle costs must be > 0")
+        if queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self.cost_model = cost_model or CostModel()
+        self.hit_cycles = float(hit_cycles)
+        self.miss_cycles = float(miss_cycles)
+        self.sketch_cycles = float(sketch_cycles)
+        self.queue_capacity = int(queue_capacity)
+
+    def run(self, miss_trace: np.ndarray) -> EventPipelineResult:
+        """Simulate the trace; returns timing and backpressure stats.
+
+        The simulation tracks, per miss, when it was enqueued and when
+        C1 finished it; C0 may only enqueue when a slot is free, i.e.
+        when C1 has finished the miss ``queue_capacity`` places earlier.
+        """
+        trace = np.asarray(miss_trace, dtype=bool)
+        n_items = int(trace.shape[0])
+        if n_items == 0:
+            return EventPipelineResult(0.0, 0.0, 0.0, 0)
+
+        c0_time = 0.0      # C0's clock after its current item
+        c1_free = 0.0      # C1's clock when it can take the next miss
+        stall = 0.0
+        # Finish times of queued/processed misses (for slot accounting).
+        finish_times: list[float] = []
+        max_depth = 0
+        for is_miss in trace.tolist():
+            if not is_miss:
+                c0_time += self.hit_cycles
+                continue
+            # Slot check: the miss queue_capacity places back must have
+            # been consumed by C1 before C0 can enqueue this one.
+            if len(finish_times) >= self.queue_capacity:
+                gate = finish_times[len(finish_times) - self.queue_capacity]
+                if gate > c0_time:
+                    stall += gate - c0_time
+                    c0_time = gate
+            c0_time += self.miss_cycles
+            start = max(c1_free, c0_time)
+            c1_free = start + self.sketch_cycles
+            finish_times.append(c1_free)
+            # Occupancy: enqueued misses whose service hasn't finished.
+            # Finish times are nondecreasing, so a bisect locates the
+            # still-pending suffix in O(log n).
+            pending = len(finish_times) - bisect_right(finish_times, c0_time)
+            depth = min(pending, self.queue_capacity)
+            max_depth = max(max_depth, depth)
+
+        total = max(c0_time, c1_free)
+        throughput = (
+            self.cost_model.clock_hz / (total / n_items) / 1000.0
+            if total > 0
+            else 0.0
+        )
+        return EventPipelineResult(
+            total_cycles=total,
+            throughput_items_per_ms=throughput,
+            stall_cycles=stall,
+            max_queue_depth=max_depth,
+        )

@@ -1,0 +1,120 @@
+"""Two-core pipeline parallelism model (paper §6.2, Figure 12).
+
+In the paper's pipelined ASketch, core C0 runs the filter and core C1 runs
+the sketch; filter misses are forwarded to C1 over a message queue, and C1
+occasionally sends an item back when the exchange condition triggers.  The
+pipeline's steady-state throughput is governed by its slowest stage:
+
+    ``throughput = 1 / max(cycles_per_item(C0), cycles_per_item(C1))``
+
+where C1's per-*input-item* cost is its per-miss cost scaled by the filter
+miss rate (the filter selectivity, ``N2/N``).  At high skew almost nothing
+overflows the filter, C1 idles, and the pipeline degenerates to C0's cost —
+reproducing the diminishing advantage above skew ~2.4 that Figure 12 shows.
+
+The model consumes the exact operation counts of a sequential run (so the
+selectivity and exchange counts are measured, not assumed) and re-prices
+them onto two cores plus message costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.costs import CostModel, OpCounters
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of a pipeline model evaluation."""
+
+    #: Modeled pipelined throughput, items per millisecond.
+    throughput_items_per_ms: float
+    #: Modeled sequential (single core) throughput for the same run.
+    sequential_items_per_ms: float
+    #: Cycles per input item on the filter core C0 (including messaging).
+    stage0_cycles_per_item: float
+    #: Cycles per input item on the sketch core C1 (miss-rate scaled).
+    stage1_cycles_per_item: float
+    #: Which stage bounds throughput: "filter" or "sketch".
+    bottleneck: str
+
+    @property
+    def speedup(self) -> float:
+        """Pipeline throughput relative to the sequential execution."""
+        if self.sequential_items_per_ms == 0:
+            return 0.0
+        return self.throughput_items_per_ms / self.sequential_items_per_ms
+
+
+class PipelineSimulator:
+    """Price a measured two-stage operation split onto two cores.
+
+    Parameters
+    ----------
+    cost_model:
+        Cycle prices shared with the sequential model.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    def run(
+        self,
+        stage0_ops: OpCounters,
+        stage1_ops: OpCounters,
+        n_items: int,
+        forwarded_items: int,
+        returned_items: int,
+        sketch_bytes: int,
+        filter_bytes: int = 512,
+    ) -> PipelineResult:
+        """Evaluate the pipeline for one measured run.
+
+        Parameters
+        ----------
+        stage0_ops:
+            Operations executed by the filter stage (probes, hits, heap
+            maintenance, per-item loop overhead).
+        stage1_ops:
+            Operations executed by the sketch stage (hashes, cell writes,
+            exchange bookkeeping).
+        n_items:
+            Total stream tuples consumed by stage 0.
+        forwarded_items:
+            Filter misses forwarded C0 -> C1 (each costs one message on
+            both sides).
+        returned_items:
+            Exchange-triggered items returned C1 -> C0.
+        sketch_bytes:
+            Size of the sketch array (cache-residency of stage 1).
+        filter_bytes:
+            Size of the filter state (cache-residency of stage 0); the
+            paper notes the decoupled filter may even fit in registers.
+        """
+        model = self.cost_model
+        messages = forwarded_items + returned_items
+        stage0_cycles = model.cycles(stage0_ops, filter_bytes)
+        stage0_cycles += messages * model.cycles_per_message
+        stage1_cycles = model.cycles(stage1_ops, sketch_bytes)
+        stage1_cycles += messages * model.cycles_per_message
+
+        if n_items <= 0:
+            return PipelineResult(0.0, 0.0, 0.0, 0.0, "filter")
+
+        stage0_per_item = stage0_cycles / n_items
+        stage1_per_item = stage1_cycles / n_items
+        bound = max(stage0_per_item, stage1_per_item)
+        bottleneck = "filter" if stage0_per_item >= stage1_per_item else "sketch"
+        throughput = model.clock_hz / bound / 1000.0
+
+        sequential_ops = stage0_ops.snapshot()
+        sequential_ops.merge(stage1_ops)
+        sequential = model.throughput_items_per_ms(sequential_ops, sketch_bytes)
+        return PipelineResult(
+            throughput_items_per_ms=throughput,
+            sequential_items_per_ms=sequential,
+            stage0_cycles_per_item=stage0_per_item,
+            stage1_cycles_per_item=stage1_per_item,
+            bottleneck=bottleneck,
+        )

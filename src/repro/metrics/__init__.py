@@ -1,0 +1,33 @@
+"""Accuracy metrics exactly as defined in the paper's §7.1.
+
+* observed error and average relative error over a query set
+  (:mod:`repro.metrics.error`);
+* misclassification of low-frequency items as heavy hitters
+  (:mod:`repro.metrics.misclassification`, Table 3 / Figure 6);
+* precision-at-k for top-k queries (:mod:`repro.metrics.precision`,
+  Table 5);
+* achieved filter selectivity (:mod:`repro.metrics.selectivity`,
+  Figure 17).
+"""
+
+from repro.metrics.error import (
+    average_relative_error,
+    observed_error,
+    observed_error_percent,
+)
+from repro.metrics.misclassification import (
+    Misclassification,
+    find_misclassified,
+)
+from repro.metrics.precision import precision_at_k
+from repro.metrics.selectivity import achieved_selectivity
+
+__all__ = [
+    "Misclassification",
+    "achieved_selectivity",
+    "average_relative_error",
+    "find_misclassified",
+    "observed_error",
+    "observed_error_percent",
+    "precision_at_k",
+]

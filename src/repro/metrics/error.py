@@ -1,0 +1,75 @@
+"""Observed error and average relative error (paper §7.1).
+
+Observed error:
+
+    ``sum_i |est_i - true_i| / sum_i true_i``  over the queried items,
+
+reported as a percentage in the paper's figures.  Average relative error:
+
+    ``(1/|Q|) * sum_i |est_i - true_i| / true_i``,
+
+which the paper notes is biased towards low-frequency items (small
+denominators).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _as_arrays(
+    estimates: Sequence[int], truths: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    est = np.asarray(estimates, dtype=np.float64)
+    true = np.asarray(truths, dtype=np.float64)
+    if est.shape != true.shape:
+        raise ConfigurationError(
+            f"estimates and truths differ in length: {est.shape} vs "
+            f"{true.shape}"
+        )
+    if est.size == 0:
+        raise ConfigurationError("error metrics need at least one query")
+    return est, true
+
+
+def observed_error(estimates: Sequence[int], truths: Sequence[int]) -> float:
+    """Total absolute error over total true count (a ratio, not percent)."""
+    est, true = _as_arrays(estimates, truths)
+    denominator = true.sum()
+    if denominator == 0:
+        raise ConfigurationError(
+            "observed error undefined: queried items have zero total count"
+        )
+    return float(np.abs(est - true).sum() / denominator)
+
+
+def observed_error_percent(
+    estimates: Sequence[int], truths: Sequence[int]
+) -> float:
+    """Observed error as the percentage the paper's figures plot."""
+    return 100.0 * observed_error(estimates, truths)
+
+
+def average_relative_error(
+    estimates: Sequence[int], truths: Sequence[int]
+) -> float:
+    """Mean of per-query ``|est - true| / true``.
+
+    Queries whose true count is zero are excluded (their relative error
+    is undefined); if every query has zero true count the metric is an
+    error.
+    """
+    est, true = _as_arrays(estimates, truths)
+    valid = true > 0
+    if not valid.any():
+        raise ConfigurationError(
+            "average relative error undefined: all queried items have "
+            "zero true count"
+        )
+    return float(
+        (np.abs(est[valid] - true[valid]) / true[valid]).mean()
+    )

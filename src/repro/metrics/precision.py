@@ -1,0 +1,38 @@
+"""Precision-at-k for top-k frequent-items queries (paper Table 5)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def precision_at_k(
+    reported: Sequence[tuple[int, int]] | Iterable[int],
+    true_top: Sequence[tuple[int, int]] | Iterable[int],
+    k: int | None = None,
+) -> float:
+    """Fraction of the reported top-k that are true top-k items.
+
+    Accepts either (key, count) pairs or bare keys for both arguments;
+    only keys matter.  ``k`` defaults to ``len(reported)``.
+    """
+    reported_keys = [_key_of(entry) for entry in reported]
+    true_keys = {_key_of(entry) for entry in true_top}
+    if k is None:
+        if not reported_keys:
+            return 0.0
+        k = len(reported_keys)
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    head = reported_keys[:k]
+    if not head:
+        return 0.0
+    hits = sum(1 for key in head if key in true_keys)
+    return hits / k
+
+
+def _key_of(entry) -> int:
+    if isinstance(entry, tuple):
+        return int(entry[0])
+    return int(entry)

@@ -1,0 +1,15 @@
+"""Achieved filter selectivity (paper Figure 17, "achieved" series)."""
+
+from __future__ import annotations
+
+from repro.core.asketch import ASketch
+
+
+def achieved_selectivity(asketch: ASketch) -> float:
+    """Measured ``N2 / N`` of a processed ASketch.
+
+    ``N2`` is the count mass that overflowed the filter into the sketch
+    (exchange re-insertions excluded, matching the paper's definition of
+    filter selectivity as the *overflow* ratio).
+    """
+    return asketch.achieved_selectivity

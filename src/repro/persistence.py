@@ -1,0 +1,203 @@
+"""Persist synopses to disk and restore them bit-for-bit.
+
+Production deployments checkpoint their synopses (collector restarts,
+shard migration).  Because every structure in this library derives its
+hash functions deterministically from ``(seed, dimensions)``, a synopsis
+is fully described by its construction parameters plus its counter
+state; this module saves both in a single ``.npz`` archive and restores
+an object whose future behaviour is identical to the original's.
+
+Supported: :class:`~repro.sketches.count_min.CountMinSketch`,
+:class:`~repro.core.asketch.ASketch` (over a Count-Min backend, the
+paper's default configuration) and
+:class:`~repro.sketches.hierarchical.HierarchicalCountMin`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.asketch import ASketch
+from repro.errors import StreamFormatError
+from repro.sketches.count_min import CountMinSketch
+
+_FORMAT_VERSION = 1
+
+
+def _pack_metadata(metadata: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+
+
+def _unpack_metadata(blob: np.ndarray) -> dict:
+    try:
+        return json.loads(blob.tobytes().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StreamFormatError(f"corrupt synopsis metadata: {exc}")
+
+
+def save_count_min(sketch: CountMinSketch, path: str | Path) -> None:
+    """Write a Count-Min sketch (parameters + counters) to ``path``."""
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "kind": "count-min",
+        "num_hashes": sketch.num_hashes,
+        "row_width": sketch.row_width,
+        "seed": sketch.seed,
+        "conservative": sketch.conservative,
+        "hash_family": sketch.hash_family_name,
+    }
+    np.savez_compressed(
+        Path(path),
+        metadata=_pack_metadata(metadata),
+        table=sketch.table,
+    )
+
+
+def load_count_min(path: str | Path) -> CountMinSketch:
+    """Restore a Count-Min sketch saved by :func:`save_count_min`."""
+    with np.load(Path(path)) as archive:
+        metadata = _unpack_metadata(archive["metadata"])
+        _require(metadata, "count-min")
+        sketch = CountMinSketch(
+            num_hashes=metadata["num_hashes"],
+            row_width=metadata["row_width"],
+            seed=metadata["seed"],
+            conservative=metadata["conservative"],
+            hash_family=metadata["hash_family"],
+        )
+        sketch._table[:] = archive["table"]
+    return sketch
+
+
+def save_hierarchical(
+    hierarchy: "HierarchicalCountMin", path: str | Path
+) -> None:
+    """Write a hierarchical Count-Min (all level tables) to ``path``."""
+    from repro.sketches.hierarchical import HierarchicalCountMin
+
+    assert isinstance(hierarchy, HierarchicalCountMin)
+    level0 = hierarchy._levels[0]
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "kind": "hierarchical-count-min",
+        "domain_bits": hierarchy.domain_bits,
+        "num_hashes": level0.num_hashes,
+        "per_level_bytes": level0.size_bytes,
+        "seed_base": level0.seed // 104_729,
+        "total": hierarchy.total,
+    }
+    arrays = {
+        f"level{index}": sketch.table
+        for index, sketch in enumerate(hierarchy._levels)
+    }
+    np.savez_compressed(
+        Path(path), metadata=_pack_metadata(metadata), **arrays
+    )
+
+
+def load_hierarchical(path: str | Path) -> "HierarchicalCountMin":
+    """Restore a hierarchy saved by :func:`save_hierarchical`."""
+    from repro.sketches.hierarchical import HierarchicalCountMin
+
+    with np.load(Path(path)) as archive:
+        metadata = _unpack_metadata(archive["metadata"])
+        _require(metadata, "hierarchical-count-min")
+        levels = metadata["domain_bits"] + 1
+        hierarchy = HierarchicalCountMin(
+            metadata["domain_bits"],
+            total_bytes=metadata["per_level_bytes"] * levels,
+            num_hashes=metadata["num_hashes"],
+            seed=metadata["seed_base"],
+        )
+        for index in range(levels):
+            hierarchy._levels[index]._table[:] = archive[f"level{index}"]
+        hierarchy._total = metadata["total"]
+    return hierarchy
+
+
+def save_asketch(asketch: ASketch, path: str | Path) -> None:
+    """Write an ASketch (filter state + sketch + statistics) to ``path``.
+
+    Only the Count-Min backend is supported (the paper's default); the
+    filter's monitored entries are saved exactly.
+    """
+    sketch = asketch.sketch
+    if not isinstance(sketch, CountMinSketch):
+        raise StreamFormatError(
+            "only ASketch over a Count-Min backend is persistable, got "
+            f"{type(sketch).__name__}"
+        )
+    entries = asketch.filter.entries()
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "kind": "asketch",
+        "filter_kind": asketch.filter_kind,
+        "filter_capacity": asketch.filter.capacity,
+        "max_exchanges_per_update": asketch.max_exchanges_per_update,
+        "total_mass": asketch.total_mass,
+        "overflow_mass": asketch.overflow_mass,
+        "miss_events": asketch.miss_events,
+        "exchanges": asketch.ops.exchanges,
+        "sketch": {
+            "num_hashes": sketch.num_hashes,
+            "row_width": sketch.row_width,
+            "seed": sketch.seed,
+            "conservative": sketch.conservative,
+            "hash_family": sketch.hash_family_name,
+        },
+    }
+    np.savez_compressed(
+        Path(path),
+        metadata=_pack_metadata(metadata),
+        table=sketch.table,
+        filter_keys=np.array([e.key for e in entries], dtype=np.int64),
+        filter_new=np.array([e.new_count for e in entries], dtype=np.int64),
+        filter_old=np.array([e.old_count for e in entries], dtype=np.int64),
+    )
+
+
+def load_asketch(path: str | Path) -> ASketch:
+    """Restore an ASketch saved by :func:`save_asketch`."""
+    with np.load(Path(path)) as archive:
+        metadata = _unpack_metadata(archive["metadata"])
+        _require(metadata, "asketch")
+        sketch_metadata = metadata["sketch"]
+        sketch = CountMinSketch(
+            num_hashes=sketch_metadata["num_hashes"],
+            row_width=sketch_metadata["row_width"],
+            seed=sketch_metadata["seed"],
+            conservative=sketch_metadata["conservative"],
+            hash_family=sketch_metadata["hash_family"],
+        )
+        sketch._table[:] = archive["table"]
+        asketch = ASketch(
+            sketch=sketch,
+            filter_items=metadata["filter_capacity"],
+            filter_kind=metadata["filter_kind"],
+            max_exchanges_per_update=metadata["max_exchanges_per_update"],
+        )
+        for key, new_count, old_count in zip(
+            archive["filter_keys"].tolist(),
+            archive["filter_new"].tolist(),
+            archive["filter_old"].tolist(),
+        ):
+            asketch.filter.insert(int(key), int(new_count), int(old_count))
+        asketch.total_mass = metadata["total_mass"]
+        asketch.overflow_mass = metadata["overflow_mass"]
+        asketch.miss_events = metadata["miss_events"]
+        asketch.ops.exchanges = metadata["exchanges"]
+    return asketch
+
+
+def _require(metadata: dict, kind: str) -> None:
+    if metadata.get("version") != _FORMAT_VERSION:
+        raise StreamFormatError(
+            f"unsupported synopsis format version {metadata.get('version')!r}"
+        )
+    if metadata.get("kind") != kind:
+        raise StreamFormatError(
+            f"expected a {kind} archive, found {metadata.get('kind')!r}"
+        )

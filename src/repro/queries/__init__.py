@@ -1,0 +1,8 @@
+"""Query workload generation (paper §7.1 "Query and Parameters Setting")."""
+
+from repro.queries.workload import (
+    frequency_weighted_queries,
+    uniform_domain_queries,
+)
+
+__all__ = ["frequency_weighted_queries", "uniform_domain_queries"]

@@ -1,0 +1,49 @@
+"""Frequency-estimation query workloads.
+
+The paper's query workload samples query keys *uniformly from the incoming
+stream*, i.e. in a skewed stream high-frequency items are queried
+proportionally more often (§7.1, §7.2.1).  That is
+:func:`frequency_weighted_queries`.  A uniform-over-domain workload is
+also provided for the low-frequency-item error analyses (Appendix B.1
+queries every item equally regardless of frequency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Stream
+
+
+def frequency_weighted_queries(
+    stream: Stream, n_queries: int, seed: int = 0
+) -> np.ndarray:
+    """Sample query keys uniformly from the stream's tuples.
+
+    Each query key is drawn with probability proportional to its stream
+    frequency — the paper's query model for Figures 5(b)/7 and Table 1.
+    """
+    if n_queries < 1:
+        raise ConfigurationError(f"n_queries must be >= 1, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, len(stream), size=n_queries)
+    return stream.keys[positions]
+
+
+def uniform_domain_queries(
+    stream: Stream, n_queries: int, seed: int = 0
+) -> np.ndarray:
+    """Sample query keys uniformly from the stream's *distinct* keys.
+
+    Used by the low-frequency-item analyses (Figure 16, Table 7) where
+    every item must be weighted equally.
+    """
+    if n_queries < 1:
+        raise ConfigurationError(f"n_queries must be >= 1, got {n_queries}")
+    distinct = np.fromiter(
+        (key for key, _ in stream.exact.items()), dtype=np.int64
+    )
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, distinct.shape[0], size=n_queries)
+    return distinct[positions]

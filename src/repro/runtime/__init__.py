@@ -1,0 +1,34 @@
+"""A small streaming runtime around the synopses.
+
+The paper's systems context is continuous ingestion: tuples arrive in
+batches from a source, a summary absorbs them, and consumers read
+periodic snapshots (top-k boards, threshold alerts).  This package
+provides that operational shell:
+
+* :class:`~repro.runtime.engine.StreamEngine` — drives any synopsis from
+  a chunk iterator, metering throughput and firing registered callbacks
+  (every N tuples) with consistent snapshots;
+* :class:`~repro.runtime.engine.TopKBoard` and
+  :class:`~repro.runtime.engine.ThresholdAlert` — the two consumer types
+  the paper's applications (§1) describe;
+* :class:`~repro.runtime.sharding.ShardedASketch` — hash-partitioned
+  ingestion across several ASketch shards (each key owned by exactly one
+  shard, so queries need no merging), the standard scale-out layout for
+  a multi-core collector.
+"""
+
+from repro.runtime.engine import (
+    EngineStats,
+    StreamEngine,
+    ThresholdAlert,
+    TopKBoard,
+)
+from repro.runtime.sharding import ShardedASketch
+
+__all__ = [
+    "EngineStats",
+    "ShardedASketch",
+    "StreamEngine",
+    "ThresholdAlert",
+    "TopKBoard",
+]

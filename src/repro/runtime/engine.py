@@ -1,0 +1,149 @@
+"""Ingestion engine with periodic consumers over a synopsis.
+
+The engine is synopsis-agnostic: anything with ``process_stream`` works
+(ASketch, plain sketches, Space Saving, a sharded group).  Consumers are
+callbacks fired every ``period`` ingested tuples — the "continuous
+query" pattern of the paper's application scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SupportsIngest(Protocol):
+    """Anything the engine can drive."""
+
+    def process_stream(self, keys: np.ndarray) -> None: ...
+
+
+@dataclass
+class EngineStats:
+    """Running ingestion statistics."""
+
+    tuples_ingested: int = 0
+    chunks_ingested: int = 0
+    wall_seconds: float = 0.0
+    consumer_firings: int = 0
+
+    @property
+    def wall_throughput_items_per_ms(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tuples_ingested / self.wall_seconds / 1000.0
+
+
+@dataclass
+class _Consumer:
+    name: str
+    period: int
+    callback: Callable[[int], None]
+    next_due: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.next_due = self.period
+
+
+class StreamEngine:
+    """Drive a synopsis from a chunked source with periodic consumers.
+
+    Parameters
+    ----------
+    synopsis:
+        The summary to feed (ASketch, a sketch, ShardedASketch, ...).
+    """
+
+    def __init__(self, synopsis: SupportsIngest) -> None:
+        self.synopsis = synopsis
+        self.stats = EngineStats()
+        self._consumers: list[_Consumer] = []
+
+    def every(
+        self, period: int, callback: Callable[[int], None], name: str = ""
+    ) -> None:
+        """Register ``callback(tuples_so_far)`` to fire every ``period``
+        ingested tuples (aligned to chunk boundaries)."""
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        self._consumers.append(
+            _Consumer(name=name or f"consumer-{len(self._consumers)}",
+                      period=period, callback=callback)
+        )
+
+    def run(self, chunks: Iterable[np.ndarray]) -> EngineStats:
+        """Ingest every chunk, firing due consumers between chunks."""
+        for chunk in chunks:
+            chunk = np.asarray(chunk, dtype=np.int64)
+            start = time.perf_counter()
+            self.synopsis.process_stream(chunk)
+            self.stats.wall_seconds += time.perf_counter() - start
+            self.stats.tuples_ingested += int(chunk.shape[0])
+            self.stats.chunks_ingested += 1
+            self._fire_due_consumers()
+        return self.stats
+
+    def _fire_due_consumers(self) -> None:
+        position = self.stats.tuples_ingested
+        for consumer in self._consumers:
+            while consumer.next_due <= position:
+                consumer.callback(position)
+                consumer.next_due += consumer.period
+                self.stats.consumer_firings += 1
+
+
+class TopKBoard:
+    """A consumer keeping the history of periodic top-k snapshots."""
+
+    def __init__(self, synopsis, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self._synopsis = synopsis
+        self.k = k
+        #: (tuples_ingested, top-k list) per firing.
+        self.snapshots: list[tuple[int, list[tuple[int, int]]]] = []
+
+    def __call__(self, position: int) -> None:
+        self.snapshots.append((position, self._synopsis.top_k(self.k)))
+
+    @property
+    def latest(self) -> list[tuple[int, int]]:
+        """The most recent snapshot (empty before the first firing)."""
+        if not self.snapshots:
+            return []
+        return self.snapshots[-1][1]
+
+
+class ThresholdAlert:
+    """A consumer raising alerts for keys crossing a frequency threshold.
+
+    Each key alerts at most once (the load-balancer / DDoS pattern:
+    flag, then hand off to a slow path).
+    """
+
+    def __init__(self, synopsis, threshold: int) -> None:
+        if threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        self._synopsis = synopsis
+        self.threshold = threshold
+        #: (tuples_ingested, key, estimate) per alert, in firing order.
+        self.alerts: list[tuple[int, int, int]] = []
+        self._alerted: set[int] = set()
+
+    def __call__(self, position: int) -> None:
+        for key, estimate in self._synopsis.heavy_hitters(self.threshold):
+            if key not in self._alerted:
+                self._alerted.add(key)
+                self.alerts.append((position, key, estimate))
+
+    @property
+    def alerted_keys(self) -> set[int]:
+        """Keys that have alerted so far (each alerts at most once)."""
+        return set(self._alerted)

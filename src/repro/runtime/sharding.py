@@ -1,0 +1,139 @@
+"""Hash-partitioned ASketch shards (key-ownership scale-out).
+
+Unlike the §6.3 kernel group — where every kernel sees its *own* stream
+and point queries sum across kernels — a sharded deployment routes each
+key to exactly one shard by hash.  Queries then touch a single shard
+(no merging, no summing of independent errors), and each shard's filter
+adapts to its own partition's heavy hitters.  This is the layout a
+multi-core collector over one ingress stream typically uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError
+from repro.hashing import make_hash_family
+from repro.hashing.families import encode_key_array, key_to_int
+
+
+class ShardedASketch:
+    """Route keys to ASketch shards by a dedicated partition hash.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions.
+    total_bytes:
+        Budget **per shard** (matching how per-core synopses are sized
+        in §6.3's experiments).
+    filter_items, filter_kind, num_hashes, seed:
+        Forwarded to each shard's ASketch.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        total_bytes: int,
+        filter_items: int = 32,
+        filter_kind: str = "relaxed-heap",
+        num_hashes: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self._router = make_hash_family("carter-wegman", shards, seed + 999)
+        self._shards = [
+            ASketch(
+                total_bytes=total_bytes,
+                filter_items=filter_items,
+                filter_kind=filter_kind,
+                num_hashes=num_hashes,
+                seed=seed * 6151 + index,
+            )
+            for index in range(shards)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[ASketch]:
+        """The per-partition ASketches (read access)."""
+        return list(self._shards)
+
+    def shard_of(self, key: int) -> int:
+        """The shard index owning a key."""
+        return self._router(key_to_int(key))
+
+    # -- ingestion --------------------------------------------------------
+
+    def process_stream(self, keys: np.ndarray) -> None:
+        """Partition a chunk by owner and feed each shard its share.
+
+        Within a shard, relative arrival order is preserved (stable
+        partitioning), which is all the exchange policy depends on.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        owners = self._router.hash_array(encode_key_array(keys))
+        for index, shard in enumerate(self._shards):
+            share = keys[owners == index]
+            if share.size:
+                shard.process_stream(share)
+
+    def update(self, key: int, amount: int = 1) -> int:
+        """Route one weighted update to its owner shard."""
+        return self._shards[self.shard_of(key)].update(key, amount)
+
+    def remove(self, key: int, amount: int = 1) -> None:
+        """Route a deletion to its owner shard."""
+        self._shards[self.shard_of(key)].remove(key, amount)
+
+    # -- queries ----------------------------------------------------------
+
+    def query(self, key: int) -> int:
+        """Point query against the single owner shard (no merging)."""
+        return self._shards[self.shard_of(key)].query(key)
+
+    estimate = query
+
+    def query_batch(self, keys: Iterable[int]) -> list[int]:
+        """Owner-shard point queries for many keys."""
+        return [self.query(int(key)) for key in keys]
+
+    estimate_batch = query_batch
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """Global top-k: union the shard filters and rank.
+
+        Sound because key ownership is exclusive — each shard's filter
+        holds the heavy hitters of exactly its own keys.
+        """
+        merged: list[tuple[int, int]] = []
+        for shard in self._shards:
+            merged.extend(shard.top_k(shard.filter.capacity))
+        merged.sort(key=lambda pair: pair[1], reverse=True)
+        return merged[:k]
+
+    def heavy_hitters(self, threshold: int) -> list[tuple[int, int]]:
+        """Global threshold query via the per-shard filters."""
+        found: list[tuple[int, int]] = []
+        for shard in self._shards:
+            found.extend(shard.heavy_hitters(threshold))
+        found.sort(key=lambda pair: pair[1], reverse=True)
+        return found
+
+    # -- stats ------------------------------------------------------------
+
+    @property
+    def total_mass(self) -> int:
+        """Aggregate stream mass across all shards."""
+        return sum(shard.total_mass for shard in self._shards)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total logical bytes across all shards."""
+        return sum(shard.size_bytes for shard in self._shards)

@@ -1,0 +1,51 @@
+"""Lane-accurate emulation of the SSE2 subset used by the paper.
+
+The ASketch filter lookup (Algorithm 3 in the paper) is written in C with
+SSE2 intrinsics: four ``_mm_cmpeq_epi32`` comparisons scan a 16-item id
+array, three ``_mm_packs_epi32`` calls narrow the comparison masks,
+``_mm_movemask_epi8`` extracts a 16-bit hit mask and ``__builtin_ctz``
+locates the hit.
+
+Python cannot execute SSE2 directly, so this package provides:
+
+* :class:`~repro.simd.register.M128` — a 128-bit register value emulated as
+  four 32-bit lanes, with the exact intrinsics Algorithm 3 uses;
+* :func:`~repro.simd.engine.simd_find_index` — a literal transcription of
+  Algorithm 3 against those intrinsics (the reference/faithful path);
+* :func:`~repro.simd.engine.numpy_find_index` — a vectorised NumPy scan
+  producing identical results (the fast path used in production);
+* :func:`~repro.simd.engine.scalar_find_index` — a plain loop, used by the
+  ablation benchmark comparing SIMD and scalar probe cost.
+
+The two fast/faithful paths are property-tested for equality; the hardware
+cost model charges SIMD probes ``ceil(n/16)`` block costs, mirroring the
+16-items-per-iteration structure of the real kernel.
+"""
+
+from repro.simd.engine import (
+    numpy_find_index,
+    scalar_find_index,
+    simd_find_index,
+    simd_probe_blocks,
+)
+from repro.simd.register import (
+    M128,
+    builtin_ctz,
+    mm_cmpeq_epi32,
+    mm_movemask_epi8,
+    mm_packs_epi32,
+    mm_set1_epi32,
+)
+
+__all__ = [
+    "M128",
+    "builtin_ctz",
+    "mm_cmpeq_epi32",
+    "mm_movemask_epi8",
+    "mm_packs_epi32",
+    "mm_set1_epi32",
+    "numpy_find_index",
+    "scalar_find_index",
+    "simd_find_index",
+    "simd_probe_blocks",
+]

@@ -1,0 +1,113 @@
+"""A 128-bit SSE2 register value emulated on NumPy byte arrays.
+
+Only the intrinsics appearing in the paper's Algorithm 3 are provided:
+``_mm_set1_epi32``, ``_mm_cmpeq_epi32``, ``_mm_packs_epi32``,
+``_mm_movemask_epi8`` and GCC's ``__builtin_ctz``.  Semantics follow the
+Intel intrinsics guide exactly (little-endian lane order, signed saturation
+for the pack operation) so that the emulated kernel is a faithful
+transcription of the C code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INT16_MIN = -(1 << 15)
+_INT16_MAX = (1 << 15) - 1
+
+
+class M128:
+    """An immutable 128-bit value held as 16 little-endian bytes."""
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self, raw_bytes: np.ndarray) -> None:
+        if raw_bytes.dtype != np.uint8 or raw_bytes.shape != (16,):
+            raise ValueError("M128 requires exactly 16 uint8 bytes")
+        self._bytes = raw_bytes
+
+    @classmethod
+    def from_int32_lanes(cls, lanes: np.ndarray) -> "M128":
+        """Build a register from four 32-bit lanes (lane 0 = lowest bytes)."""
+        lanes = np.asarray(lanes, dtype=np.int32)
+        if lanes.shape != (4,):
+            raise ValueError("M128 has exactly four 32-bit lanes")
+        return cls(lanes.view(np.uint8).copy())
+
+    @classmethod
+    def from_int16_lanes(cls, lanes: np.ndarray) -> "M128":
+        """Build a register from eight 16-bit lanes."""
+        lanes = np.asarray(lanes, dtype=np.int16)
+        if lanes.shape != (8,):
+            raise ValueError("expected eight 16-bit lanes")
+        return cls(lanes.view(np.uint8).copy())
+
+    def as_int32_lanes(self) -> np.ndarray:
+        """View the register as four signed 32-bit lanes."""
+        return self._bytes.view(np.int32)
+
+    def as_int16_lanes(self) -> np.ndarray:
+        """View the register as eight signed 16-bit lanes."""
+        return self._bytes.view(np.int16)
+
+    def as_bytes(self) -> np.ndarray:
+        """View the register as 16 unsigned bytes."""
+        return self._bytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, M128):
+            return NotImplemented
+        return bool(np.array_equal(self._bytes, other._bytes))
+
+    def __hash__(self) -> int:
+        return hash(self._bytes.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lanes = ", ".join(hex(int(v) & 0xFFFFFFFF) for v in self.as_int32_lanes())
+        return f"M128({lanes})"
+
+
+def mm_set1_epi32(value: int) -> M128:
+    """``_mm_set1_epi32``: broadcast one 32-bit value to all four lanes.
+
+    The value is wrapped to signed 32 bits exactly as a C cast would.
+    """
+    wrapped = np.array([value & 0xFFFFFFFF] * 4, dtype=np.uint32).view(np.int32)
+    return M128(wrapped.view(np.uint8).copy())
+
+
+def mm_cmpeq_epi32(a: M128, b: M128) -> M128:
+    """``_mm_cmpeq_epi32``: per-lane equality, all-ones on match."""
+    mask = np.where(
+        a.as_int32_lanes() == b.as_int32_lanes(),
+        np.int32(-1),
+        np.int32(0),
+    )
+    return M128.from_int32_lanes(mask)
+
+
+def mm_packs_epi32(a: M128, b: M128) -> M128:
+    """``_mm_packs_epi32``: pack 4+4 int32 lanes into 8 int16 with saturation.
+
+    Lanes of ``a`` occupy the low half of the result, lanes of ``b`` the
+    high half, matching the hardware lane order.
+    """
+    merged = np.concatenate([a.as_int32_lanes(), b.as_int32_lanes()])
+    saturated = np.clip(merged, _INT16_MIN, _INT16_MAX).astype(np.int16)
+    return M128.from_int16_lanes(saturated)
+
+
+def mm_movemask_epi8(a: M128) -> int:
+    """``_mm_movemask_epi8``: gather the sign bit of each of the 16 bytes."""
+    signs = (a.as_bytes() >> 7) & 1
+    mask = 0
+    for bit_index in range(16):
+        mask |= int(signs[bit_index]) << bit_index
+    return mask
+
+
+def builtin_ctz(value: int) -> int:
+    """GCC ``__builtin_ctz``: count trailing zero bits of a non-zero int."""
+    if value == 0:
+        raise ValueError("__builtin_ctz is undefined for zero")
+    return (value & -value).bit_length() - 1

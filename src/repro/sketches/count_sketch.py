@@ -1,0 +1,107 @@
+"""Count Sketch (Charikar, Chen & Farach-Colton, reference [7]).
+
+Each row pairs a bucket hash with a ±1 sign hash; updates add
+``sign(key) * amount`` to one cell per row and a query returns the
+*median* of ``sign(key) * cell`` across rows.  Unlike Count-Min the error
+is two-sided (unbiased), so Count Sketch cannot misclassify items only
+upward — but it can underestimate, which is why the paper builds ASketch's
+guarantee discussion on Count-Min.  Included as the third backend listed
+in the paper's Figure 1 and for the backend-generality tests.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.costs import OpCounters
+from repro.hashing import make_hash_family
+from repro.hashing.families import SignHash, encode_key_array, key_to_int
+from repro.sketches.base import CELL_BYTES, FrequencySketch, row_width_for_bytes
+
+
+class CountSketch(FrequencySketch):
+    """Median-estimator sketch with ±1 signs.
+
+    Parameters mirror :class:`~repro.sketches.count_min.CountMinSketch`.
+    """
+
+    def __init__(
+        self,
+        num_hashes: int = 8,
+        row_width: int | None = None,
+        *,
+        total_bytes: int | None = None,
+        seed: int = 0,
+        hash_family: str = "carter-wegman",
+    ) -> None:
+        if (row_width is None) == (total_bytes is None):
+            raise ConfigurationError(
+                "specify exactly one of row_width or total_bytes"
+            )
+        if total_bytes is not None:
+            row_width = row_width_for_bytes(total_bytes, num_hashes)
+        assert row_width is not None
+        if num_hashes <= 0 or row_width <= 0:
+            raise ConfigurationError(
+                f"invalid Count Sketch dimensions w={num_hashes}, h={row_width}"
+            )
+        self.num_hashes = int(num_hashes)
+        self.row_width = int(row_width)
+        self._table = np.zeros((self.num_hashes, self.row_width), dtype=np.int64)
+        self._hashes = [
+            make_hash_family(hash_family, self.row_width, seed * 2_000_003 + row)
+            for row in range(self.num_hashes)
+        ]
+        self._signs = [
+            SignHash(seed * 3_000_017 + row) for row in range(self.num_hashes)
+        ]
+        self.ops = OpCounters()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_hashes * self.row_width * CELL_BYTES
+
+    def _locate(self, key: int) -> list[tuple[int, int]]:
+        encoded = key_to_int(key)
+        return [
+            (h(encoded), s(encoded))
+            for h, s in zip(self._hashes, self._signs)
+        ]
+
+    def update(self, key: int, amount: int = 1) -> int:
+        self.ops.hash_evals += 2 * self.num_hashes
+        self.ops.sketch_cell_writes += self.num_hashes
+        values = []
+        for row, (col, sign) in enumerate(self._locate(key)):
+            self._table[row, col] += sign * amount
+            values.append(sign * int(self._table[row, col]))
+        return int(statistics.median(values))
+
+    def update_batch(self, keys: np.ndarray, amount: int = 1) -> None:
+        keys = np.asarray(keys)
+        encoded = encode_key_array(keys)
+        self.ops.hash_evals += 2 * self.num_hashes * len(keys)
+        self.ops.sketch_cell_writes += self.num_hashes * len(keys)
+        for row in range(self.num_hashes):
+            columns = self._hashes[row].hash_array(encoded)
+            signs = self._signs[row].hash_array(encoded)
+            np.add.at(self._table[row], columns, signs * amount)
+
+    def estimate(self, key: int) -> int:
+        """Median of signed cells; can under- as well as over-estimate."""
+        self.ops.hash_evals += 2 * self.num_hashes
+        self.ops.sketch_cell_reads += self.num_hashes
+        values = [
+            sign * int(self._table[row, col])
+            for row, (col, sign) in enumerate(self._locate(key))
+        ]
+        return int(statistics.median(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountSketch(w={self.num_hashes}, h={self.row_width}, "
+            f"bytes={self.size_bytes})"
+        )

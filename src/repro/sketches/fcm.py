@@ -1,0 +1,174 @@
+"""Frequency-Aware Counting (Thomas et al., reference [34] of the paper).
+
+FCM improves Count-Min accuracy by hashing each item into only a *subset*
+of the ``w`` rows.  Two extra hash functions derive an ``offset`` and a
+``gap`` per key; the key's row sequence is
+``(offset + i * gap) mod w`` for ``i = 0, 1, ...``.  A Misra-Gries counter
+classifies items: items it currently monitors are "high frequency" and use
+``w/2`` rows; the rest use ``4w/5`` rows (the parameters the paper quotes
+from [34]).  Fewer rows for heavy items means fewer heavy/light collisions,
+which is where FCM's accuracy gain over Count-Min comes from.
+
+Classification caveat (inherited from the original FCM): an item's class
+can change over its lifetime, so at query time some of the probed rows may
+have missed a few of its updates.  The gap is forced odd so the row
+sequence is a permutation of all ``w`` rows (``w`` is a power of two in
+all experiments), and both class sizes share the sequence's *prefix*, so
+the first ``w/2`` rows receive every update of the item regardless of
+class — querying a high-classified item is therefore always one-sided.
+
+The paper's §7.3 notes that the MG-counter maintenance is a significant
+overhead of original FCM and evaluates a "modified" MG-free variant for
+the real-data throughput runs; ``use_mg_counter=False`` reproduces that
+variant (all items treated as low-frequency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.counters.misra_gries import MisraGries
+from repro.errors import ConfigurationError
+from repro.hardware.costs import OpCounters
+from repro.hashing import make_hash_family
+from repro.hashing.families import key_to_int
+from repro.sketches.base import CELL_BYTES, FrequencySketch, row_width_for_bytes
+
+
+class FrequencyAwareCountMin(FrequencySketch):
+    """FCM: Count-Min with frequency-aware row selection.
+
+    Parameters
+    ----------
+    num_hashes:
+        ``w``, total rows (the high/low classes use prefixes of a per-key
+        permutation of these rows).
+    row_width / total_bytes:
+        As for :class:`~repro.sketches.count_min.CountMinSketch`; when
+        ``total_bytes`` is given and the MG counter is enabled, the MG
+        table's space (``mg_capacity`` items at 12 bytes each, the array
+        filter layout) is carved out of the sketch, mirroring how the
+        paper allocates every method the same total space.
+    mg_capacity:
+        Size of the Misra-Gries classifier.  The paper sizes it to match
+        the ASketch filter ("we have fixed the MG counter size in such a
+        way that it stores the same number of high-frequency items as that
+        in our filter").
+    """
+
+    #: Logical bytes per MG slot: id + count, padded to the filter layout.
+    MG_BYTES_PER_ITEM = 12
+
+    def __init__(
+        self,
+        num_hashes: int = 8,
+        row_width: int | None = None,
+        *,
+        total_bytes: int | None = None,
+        mg_capacity: int = 32,
+        use_mg_counter: bool = True,
+        seed: int = 0,
+        hash_family: str = "carter-wegman",
+    ) -> None:
+        if (row_width is None) == (total_bytes is None):
+            raise ConfigurationError(
+                "specify exactly one of row_width or total_bytes"
+            )
+        self.ops = OpCounters()
+        self.use_mg_counter = bool(use_mg_counter)
+        self.mg_capacity = int(mg_capacity) if use_mg_counter else 0
+        if total_bytes is not None:
+            sketch_bytes = total_bytes - self.mg_capacity * self.MG_BYTES_PER_ITEM
+            if sketch_bytes <= 0:
+                raise ConfigurationError(
+                    "MG counter does not fit in the FCM byte budget"
+                )
+            row_width = row_width_for_bytes(sketch_bytes, num_hashes)
+        assert row_width is not None
+        self.num_hashes = int(num_hashes)
+        self.row_width = int(row_width)
+        #: Rows used for a high-frequency item (w/2) and the rest (4w/5).
+        self.rows_high = max(1, self.num_hashes // 2)
+        self.rows_low = max(self.rows_high, round(0.8 * self.num_hashes))
+        self._table = np.zeros((self.num_hashes, self.row_width), dtype=np.int64)
+        self._hashes = [
+            make_hash_family(hash_family, self.row_width, seed * 4_000_037 + row)
+            for row in range(self.num_hashes)
+        ]
+        self._offset_hash = make_hash_family(
+            hash_family, self.num_hashes, seed * 5_000_011 + 1
+        )
+        # Gap is drawn odd (see module docstring); range w/2 then *2+1.
+        self._gap_hash = make_hash_family(
+            hash_family, max(1, self.num_hashes // 2), seed * 5_000_011 + 2
+        )
+        self._mg = (
+            MisraGries(self.mg_capacity, ops=self.ops)
+            if self.use_mg_counter
+            else None
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        sketch = self.num_hashes * self.row_width * CELL_BYTES
+        return sketch + self.mg_capacity * self.MG_BYTES_PER_ITEM
+
+    def _row_sequence(self, encoded: int, length: int) -> list[int]:
+        """First ``length`` rows of the key's odd-gap row permutation."""
+        self.ops.hash_evals += 2
+        offset = self._offset_hash(encoded)
+        gap = 2 * self._gap_hash(encoded) + 1
+        w = self.num_hashes
+        return [(offset + i * gap) % w for i in range(length)]
+
+    def _classify_rows(self, encoded: int) -> int:
+        """Row count for this key under its current classification."""
+        if self._mg is not None and self._mg.is_frequent(encoded):
+            return self.rows_high
+        return self.rows_low
+
+    def update(self, key: int, amount: int = 1) -> int:
+        """Classify, update the selected rows, return the new estimate."""
+        encoded = key_to_int(key)
+        if self._mg is not None:
+            self._mg.update(encoded, amount)
+        n_rows = self._classify_rows(encoded)
+        rows = self._row_sequence(encoded, n_rows)
+        self.ops.hash_evals += n_rows
+        self.ops.sketch_cell_writes += n_rows
+        estimate = None
+        for row in rows:
+            col = self._hashes[row](encoded)
+            self._table[row, col] += amount
+            cell = int(self._table[row, col])
+            if estimate is None or cell < estimate:
+                estimate = cell
+        assert estimate is not None
+        return estimate
+
+    def estimate(self, key: int) -> int:
+        """Minimum over the key's *high-prefix* rows.
+
+        Every update — whichever class the item was in at the time —
+        writes at least the first ``rows_high`` rows of the key's row
+        permutation, so the minimum over that prefix is always an
+        over-estimate.  Probing the longer low-class prefix instead can
+        *under*-estimate items whose classification ever flipped (rows
+        beyond the shared prefix miss the updates made while the item was
+        classified high), so the prefix query is the safe reading of
+        [34]'s "smaller number of hash functions for answering frequency
+        estimation queries".
+        """
+        encoded = key_to_int(key)
+        rows = self._row_sequence(encoded, self.rows_high)
+        self.ops.hash_evals += self.rows_high
+        self.ops.sketch_cell_reads += self.rows_high
+        return min(
+            int(self._table[row, self._hashes[row](encoded)]) for row in rows
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrequencyAwareCountMin(w={self.num_hashes}, h={self.row_width}, "
+            f"mg={self.mg_capacity}, bytes={self.size_bytes})"
+        )

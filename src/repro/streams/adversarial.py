@@ -1,0 +1,70 @@
+"""Adversarial stream orderings from the paper's Appendix C.2.
+
+Two constructions bound the ASketch exchange count from above:
+
+* Lemma 2 (no sketch collisions): the order ``A B B A A B B A A B B ...``
+  over two items with a size-1 filter forces an exchange roughly every
+  second tuple — ``floor((N-1)/2)`` exchanges, the collision-free maximum.
+* Lemma 3 (full collisions): the order ``A B B A B A B A B A ...`` with
+  both items hashing to the same cells in every row forces an exchange on
+  almost every tuple — up to ``N - 2``, approaching the absolute bound of
+  ``N`` from Lemma 1.
+
+These generators produce exactly those orders; the exchange-bound tests
+drive ASketch over them and check the measured counts against the lemmas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Stream
+
+
+def lemma2_alternating_stream(
+    stream_size: int, key_a: int = 0, key_b: int = 1
+) -> Stream:
+    """The Lemma 2 order: ``A B B A A B B A A B B ...``.
+
+    After the initial ``A``, items arrive in pairs ``B B A A B B ...`` so
+    that each item accumulates two hits in the sketch before overtaking
+    the filter resident, triggering an exchange every other pair.
+    """
+    if stream_size < 1:
+        raise ConfigurationError(
+            f"stream_size must be >= 1, got {stream_size}"
+        )
+    if key_a == key_b:
+        raise ConfigurationError("key_a and key_b must differ")
+    keys = np.empty(stream_size, dtype=np.int64)
+    keys[0] = key_a
+    # Pairs alternate: BB, AA, BB, AA, ...
+    for position in range(1, stream_size):
+        pair_index = (position - 1) // 2
+        keys[position] = key_b if pair_index % 2 == 0 else key_a
+    return Stream(keys=keys, name="lemma2-alternating", skew=None)
+
+
+def lemma3_colliding_stream(
+    stream_size: int, key_a: int = 0, key_b: int = 1
+) -> Stream:
+    """The Lemma 3 order: ``A B B A B A B A B A ...``.
+
+    Combined with a sketch in which both keys collide in every row (the
+    tests arrange this with a width-1 sketch), each arrival overtakes the
+    filter resident and triggers an exchange.
+    """
+    if stream_size < 1:
+        raise ConfigurationError(
+            f"stream_size must be >= 1, got {stream_size}"
+        )
+    if key_a == key_b:
+        raise ConfigurationError("key_a and key_b must differ")
+    keys = np.empty(stream_size, dtype=np.int64)
+    keys[0] = key_a
+    if stream_size > 1:
+        keys[1] = key_b
+    for position in range(2, stream_size):
+        keys[position] = key_b if position % 2 == 0 else key_a
+    return Stream(keys=keys, name="lemma3-colliding", skew=None)

@@ -1,0 +1,105 @@
+"""The Stream container shared by generators, experiments and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.counters.exact import ExactCounter
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Stream:
+    """An in-memory stream of unit-count integer tuples.
+
+    Attributes
+    ----------
+    keys:
+        The stream's key sequence in arrival order (int64).  Every tuple
+        has unit count (``u = 1``), as in all of the paper's experiments;
+        weighted tuples are exercised directly through the synopsis APIs.
+    name:
+        Dataset label (``"zipf"``, ``"ip-trace"``, ...).
+    skew:
+        Nominal Zipf skew of the generator (None when not applicable).
+    n_distinct_domain:
+        Size of the key domain the generator drew from (actual distinct
+        count may be smaller; see :meth:`distinct_seen`).
+    seed:
+        Generator seed, for provenance.
+    """
+
+    keys: np.ndarray
+    name: str = "stream"
+    skew: float | None = None
+    n_distinct_domain: int | None = None
+    seed: int | None = None
+    _exact: ExactCounter | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.keys = np.ascontiguousarray(self.keys, dtype=np.int64)
+        if self.keys.ndim != 1:
+            raise ConfigurationError("stream keys must be a 1-D array")
+
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.keys.tolist())
+
+    @property
+    def exact(self) -> ExactCounter:
+        """Ground-truth counter over the whole stream (computed lazily)."""
+        if self._exact is None:
+            counter = ExactCounter()
+            counter.update_batch(self.keys)
+            self._exact = counter
+        return self._exact
+
+    @property
+    def total_count(self) -> int:
+        """Aggregate count ``N`` (equals ``len`` for unit tuples)."""
+        return len(self)
+
+    def distinct_seen(self) -> int:
+        """Number of distinct keys actually present."""
+        return self.exact.distinct
+
+    def max_frequency(self) -> int:
+        """True frequency of the most frequent key."""
+        top = self.exact.top_k(1)
+        return top[0][1] if top else 0
+
+    def true_top_k(self, k: int) -> list[tuple[int, int]]:
+        """True top-k (key, count), descending."""
+        return self.exact.top_k(k)
+
+    def prefix(self, n: int) -> "Stream":
+        """A stream over the first ``n`` tuples (fresh ground truth)."""
+        return Stream(
+            keys=self.keys[:n].copy(),
+            name=f"{self.name}[:{n}]",
+            skew=self.skew,
+            n_distinct_domain=self.n_distinct_domain,
+            seed=self.seed,
+        )
+
+    def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        """Yield contiguous key chunks (streaming-style ingestion)."""
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        for start in range(0, len(self), chunk_size):
+            yield self.keys[start : start + chunk_size]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stream(name={self.name!r}, n={len(self)}, "
+            f"skew={self.skew}, domain={self.n_distinct_domain})"
+        )

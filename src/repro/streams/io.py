@@ -1,0 +1,59 @@
+"""Persist streams to disk so expensive generations can be reused."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StreamFormatError
+from repro.streams.base import Stream
+
+_FORMAT_VERSION = 1
+
+
+def save_stream(stream: Stream, path: str | Path) -> None:
+    """Write a stream (keys + metadata) to a ``.npz`` file."""
+    path = Path(path)
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "name": stream.name,
+        "skew": stream.skew,
+        "n_distinct_domain": stream.n_distinct_domain,
+        "seed": stream.seed,
+    }
+    np.savez_compressed(
+        path,
+        keys=stream.keys,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_stream(path: str | Path) -> Stream:
+    """Read a stream written by :func:`save_stream`."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            keys = archive["keys"]
+            metadata_bytes = archive["metadata"].tobytes()
+    except (OSError, KeyError, ValueError) as exc:
+        raise StreamFormatError(f"cannot read stream file {path}: {exc}")
+    try:
+        metadata = json.loads(metadata_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StreamFormatError(f"corrupt metadata in {path}: {exc}")
+    if metadata.get("version") != _FORMAT_VERSION:
+        raise StreamFormatError(
+            f"unsupported stream format version {metadata.get('version')!r} "
+            f"in {path}"
+        )
+    return Stream(
+        keys=keys,
+        name=metadata["name"],
+        skew=metadata["skew"],
+        n_distinct_domain=metadata["n_distinct_domain"],
+        seed=metadata["seed"],
+    )

@@ -1,0 +1,95 @@
+"""Zipf stream generator — the paper's synthetic dataset.
+
+The paper's synthetic workload draws 32M tuples over 8M distinct items
+with skew varied from 0 to 3 (§7.1).  Ranks are mapped to *shuffled* key
+ids so that an item's key value carries no frequency information (sketch
+hash quality must not correlate with rank), and samples are drawn i.i.d.
+from the Zipf law — frequency-estimation accuracy depends only on the
+frequency vector, and i.i.d. arrival is the natural-order assumption the
+paper's filter analysis uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import zipf_probabilities
+from repro.errors import ConfigurationError
+from repro.streams.base import Stream
+
+
+def zipf_stream(
+    stream_size: int,
+    n_distinct: int,
+    skew: float,
+    seed: int = 0,
+    name: str = "zipf",
+    method: str = "sampled",
+) -> Stream:
+    """Generate a Zipf(skew) stream.
+
+    Parameters
+    ----------
+    stream_size:
+        Number of tuples ``N`` (the paper uses 32M; the scaled default in
+        the experiment configs is smaller, see ``ExperimentConfig``).
+    n_distinct:
+        Size of the item domain ``M`` (the paper uses 8M).
+    skew:
+        Zipf exponent ``z``; 0 gives the uniform distribution.
+    seed:
+        RNG seed; streams are deterministic per (size, distinct, skew,
+        seed, method).
+    method:
+        ``"sampled"`` (default) draws tuples i.i.d. from the Zipf law —
+        realistic, with multinomial noise in the realised frequencies.
+        ``"expected"`` materialises frequencies equal to the *expected*
+        counts (largest-remainder rounding to exactly ``stream_size``)
+        in a shuffled arrival order — zero frequency noise, useful for
+        low-variance sensitivity studies.
+    """
+    if stream_size < 1:
+        raise ConfigurationError(
+            f"stream_size must be >= 1, got {stream_size}"
+        )
+    if skew < 0:
+        raise ConfigurationError(f"skew must be >= 0, got {skew}")
+    if method not in ("sampled", "expected"):
+        raise ConfigurationError(
+            f"method must be 'sampled' or 'expected', got {method!r}"
+        )
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_probabilities(skew, n_distinct)
+    if method == "sampled":
+        ranks = rng.choice(n_distinct, size=stream_size, p=probabilities)
+    else:
+        counts = _largest_remainder_counts(probabilities, stream_size)
+        ranks = np.repeat(
+            np.nonzero(counts)[0], counts[np.nonzero(counts)[0]]
+        )
+        rng.shuffle(ranks)
+    # Relabel ranks through a random permutation of the key domain so
+    # key ids are uncorrelated with frequency rank.
+    relabel = rng.permutation(n_distinct)
+    keys = relabel[ranks].astype(np.int64)
+    return Stream(
+        keys=keys,
+        name=name,
+        skew=float(skew),
+        n_distinct_domain=int(n_distinct),
+        seed=seed,
+    )
+
+
+def _largest_remainder_counts(
+    probabilities: np.ndarray, total: int
+) -> np.ndarray:
+    """Integer counts summing to ``total``, proportional to probabilities."""
+    raw = probabilities * total
+    counts = np.floor(raw).astype(np.int64)
+    shortfall = total - int(counts.sum())
+    if shortfall > 0:
+        remainders = raw - counts
+        top_up = np.argsort(remainders)[::-1][:shortfall]
+        counts[top_up] += 1
+    return counts

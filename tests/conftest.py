@@ -1,0 +1,33 @@
+"""Shared fixtures: small deterministic streams and synopsis builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.zipf import zipf_stream
+
+
+@pytest.fixture(scope="session")
+def skewed_stream():
+    """A 60K-tuple Zipf(1.5) stream over 15K items (fast, reusable)."""
+    return zipf_stream(stream_size=60_000, n_distinct=15_000, skew=1.5, seed=42)
+
+
+@pytest.fixture(scope="session")
+def mild_stream():
+    """A 40K-tuple Zipf(0.9) stream (the IP-trace-like regime)."""
+    return zipf_stream(stream_size=40_000, n_distinct=10_000, skew=0.9, seed=7)
+
+
+@pytest.fixture(scope="session")
+def uniform_keys():
+    """20K uniform keys over a 5K domain."""
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 5_000, size=20_000, dtype=np.int64)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

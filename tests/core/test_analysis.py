@@ -1,0 +1,170 @@
+"""Tests for the closed-form analysis module (§4, Theorem 1, Appendix C)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import analysis
+from repro.errors import ConfigurationError
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        probabilities = analysis.zipf_probabilities(1.5, 1000)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_skew_zero_is_uniform(self):
+        probabilities = analysis.zipf_probabilities(0.0, 100)
+        np.testing.assert_allclose(probabilities, 0.01)
+
+    def test_top_k_mass_monotone_in_k(self):
+        masses = [
+            analysis.zipf_top_k_mass(1.2, 10_000, k) for k in (1, 8, 64, 512)
+        ]
+        assert masses == sorted(masses)
+
+    def test_top_k_mass_bounds(self):
+        assert analysis.zipf_top_k_mass(1.5, 100, 0) == 0.0
+        assert analysis.zipf_top_k_mass(1.5, 100, 100) == pytest.approx(1.0)
+        assert analysis.zipf_top_k_mass(1.5, 100, 1000) == pytest.approx(1.0)
+
+    def test_invalid_distinct_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analysis.zipf_weights(1.0, 0)
+
+
+class TestFilterSelectivity:
+    def test_paper_reading_skew_15(self):
+        """Figure 3: at skew 1.5, top-32 of 8M items carry ~80% of mass."""
+        selectivity = analysis.predicted_filter_selectivity(1.5, 8_000_000, 32)
+        assert 0.10 < selectivity < 0.30
+
+    def test_monotone_decreasing_in_skew(self):
+        values = [
+            analysis.predicted_filter_selectivity(skew, 100_000, 32)
+            for skew in (0.0, 0.5, 1.0, 1.5, 2.0, 3.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_plateau_beyond_threshold_filter_size(self):
+        """Figure 3's observation: growing |F| beyond ~32 gains little."""
+        small = analysis.predicted_filter_selectivity(1.5, 1_000_000, 8)
+        mid = analysis.predicted_filter_selectivity(1.5, 1_000_000, 32)
+        large = analysis.predicted_filter_selectivity(1.5, 1_000_000, 128)
+        assert small - mid > mid - large
+
+    def test_near_one_at_uniform(self):
+        value = analysis.predicted_filter_selectivity(0.0, 100_000, 32)
+        assert value == pytest.approx(1.0 - 32 / 100_000)
+
+
+class TestErrorBounds:
+    def test_count_min_bound(self):
+        assert analysis.count_min_error_bound(4096, 1_000_000) == (
+            pytest.approx(math.e / 4096 * 1_000_000)
+        )
+
+    def test_asketch_bound_smaller_on_skew(self):
+        """Table 2's point: (e/(h-s_f/w)) N2 (N2/N) << (e/h) N when
+        N2 << N."""
+        cm = analysis.count_min_error_bound(4096, 1_000_000)
+        asketch = analysis.asketch_error_bound(
+            4096, 8, 384, 1_000_000, 200_000
+        )
+        assert asketch < cm / 10
+
+    def test_asketch_bound_equals_cm_at_selectivity_one(self):
+        """With everything overflowing and no filter space, bounds match."""
+        cm = analysis.count_min_error_bound(4096, 500_000)
+        asketch = analysis.asketch_error_bound(4096, 8, 0, 500_000, 500_000)
+        assert asketch == pytest.approx(cm)
+
+    def test_filter_consuming_sketch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analysis.asketch_error_bound(64, 8, 64 * 8 * 4, 1000, 100)
+
+    def test_theorem1_bound_value(self):
+        """dE <= (e s_f / (w h (h - s_f/w))) N, and it is small."""
+        bound = analysis.theorem1_error_increase_bound(
+            4096, 8, 384, 32_000_000
+        )
+        manual = (
+            math.e * 384 / (8 * 4096 * (4096 - 384 / 8))
+        ) * 32_000_000
+        assert bound == pytest.approx(manual)
+        # "reasonably small even for a large size stream": < 0.1% of N.
+        assert bound < 32_000_000 * 0.001
+
+    def test_theorem1_observed_increase_within_bound(self, skewed_stream):
+        """Empirical check: shrinking Count-Min by the filter bytes
+        increases tail error by less than the Theorem 1 bound."""
+        from repro.sketches.count_min import CountMinSketch
+
+        total = 32 * 1024
+        filter_bytes = 32 * 12
+        full = CountMinSketch(8, total_bytes=total, seed=3)
+        reduced = CountMinSketch(8, total_bytes=total - filter_bytes, seed=3)
+        full.update_batch(skewed_stream.keys)
+        reduced.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        keys = [key for key, _ in exact.top_k(800)[300:800]]
+        mean_increase = np.mean(
+            [reduced.estimate(k) - full.estimate(k) for k in keys]
+        )
+        bound = analysis.theorem1_error_increase_bound(
+            full.row_width, 8, filter_bytes, exact.total
+        )
+        assert mean_increase <= bound
+
+
+class TestThroughputModel:
+    def test_predicted_update_time(self):
+        assert analysis.predicted_update_time(1e-9, 10e-9, 0.2) == (
+            pytest.approx(3e-9)
+        )
+
+    def test_selectivity_validated(self):
+        with pytest.raises(ConfigurationError):
+            analysis.predicted_update_time(1e-9, 1e-8, 1.5)
+
+    def test_table2_rows(self):
+        rows = analysis.table2_comparison(
+            num_hashes=8,
+            row_width=4096,
+            filter_bytes=384,
+            total_count=1_000_000,
+            sketch_count=200_000,
+            sketch_item_time=150e-9,
+            filter_item_time=10e-9,
+        )
+        cm, asketch = rows
+        assert cm.method == "Count-Min"
+        assert asketch.method == "ASketch"
+        assert asketch.frequency_estimation_time < cm.frequency_estimation_time
+        assert asketch.stream_processing_throughput > (
+            cm.stream_processing_throughput
+        )
+        assert asketch.frequency_estimation_error < (
+            cm.frequency_estimation_error
+        )
+        assert cm.error_probability == pytest.approx(math.exp(-8))
+        assert "top-k" in asketch.supported_queries[1]
+
+
+class TestExchangeEstimates:
+    def test_average_case_formula(self):
+        assert analysis.expected_exchanges_uniform(32_000_000, 32, 4084) == (
+            pytest.approx(32_000_000 * 32 / 4084)
+        )
+
+    def test_best_case_formula(self):
+        assert analysis.best_case_exchanges_uniform(32_000_000, 4084) == (
+            pytest.approx(32_000_000 / 4084)
+        )
+
+    def test_worst_case_lemmas(self):
+        assert analysis.worst_case_exchanges_no_collisions(1000) == 500
+        assert analysis.worst_case_exchanges_with_collisions(1000) == 1000

@@ -1,0 +1,78 @@
+"""Tests for the analytic filter-size optimiser (§4's trade-off)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    modeled_asketch_cycles_per_item,
+    optimal_filter_size,
+)
+from repro.errors import ConfigurationError
+
+BUDGET = 128 * 1024
+DOMAIN = 100_000
+
+
+class TestModeledCycles:
+    def test_zero_filter_equals_count_min_cost(self):
+        """With no filter everything overflows: the plain CMS cost."""
+        cycles = modeled_asketch_cycles_per_item(0, 1.5, DOMAIN, BUDGET)
+        assert cycles == pytest.approx(10 + 8 * (22 + 20))
+
+    def test_u_shape_at_skew(self):
+        """Cost falls then rises with filter size (Figure 15a's shape)."""
+        sizes = (8, 32, 256, 1024)
+        cycles = [
+            modeled_asketch_cycles_per_item(s, 1.5, DOMAIN, BUDGET)
+            for s in sizes
+        ]
+        assert cycles[1] < cycles[0]        # 32 beats 8
+        assert cycles[1] < cycles[2] < cycles[3]  # then monotone worse
+
+    def test_filter_never_helps_at_uniform(self):
+        """At skew 0 the probe is pure overhead."""
+        no_filter = modeled_asketch_cycles_per_item(0, 0.0, DOMAIN, BUDGET)
+        with_filter = modeled_asketch_cycles_per_item(
+            32, 0.0, DOMAIN, BUDGET
+        )
+        assert with_filter > no_filter * 0.99
+
+    def test_budget_exhaustion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modeled_asketch_cycles_per_item(10_000, 1.5, DOMAIN, 4096)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modeled_asketch_cycles_per_item(-1, 1.5, DOMAIN, BUDGET)
+
+
+class TestOptimalSize:
+    def test_matches_figure15_peak_at_skew_15(self):
+        """The paper's measured throughput peak (32 items, Figure 15a)
+        falls out of the closed-form optimisation."""
+        assert optimal_filter_size(1.5, DOMAIN, BUDGET) == 32
+
+    def test_no_filter_at_uniform(self):
+        assert optimal_filter_size(0.0, DOMAIN, BUDGET) == 0
+
+    def test_small_filter_at_high_skew(self):
+        """Past skew ~2 a handful of items carries everything."""
+        assert optimal_filter_size(3.0, DOMAIN, BUDGET) <= 32
+
+    def test_monotone_band(self):
+        """The optimum stays in the paper's 'small filter' band across
+        the real-world skew range."""
+        for skew in (1.0, 1.25, 1.5, 1.75, 2.0):
+            best = optimal_filter_size(skew, DOMAIN, BUDGET)
+            assert 8 <= best <= 128
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_filter_size(1.5, DOMAIN, 16, candidates=(1024,))
+
+    def test_custom_candidates(self):
+        best = optimal_filter_size(
+            1.5, DOMAIN, BUDGET, candidates=(8, 1024)
+        )
+        assert best == 8

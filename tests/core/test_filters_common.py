@@ -1,0 +1,198 @@
+"""Behavioural tests shared by all four filter implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.filters import make_filter
+from repro.core.filters.factory import FILTER_KINDS
+from repro.errors import CapacityError, ConfigurationError
+
+ALL_KINDS = sorted(FILTER_KINDS)
+
+
+@pytest.fixture(params=ALL_KINDS)
+def kind(request):
+    return request.param
+
+
+class TestFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_filter("btree", 8)
+
+    def test_exactly_one_capacity_argument(self):
+        with pytest.raises(ConfigurationError):
+            make_filter("vector")
+        with pytest.raises(ConfigurationError):
+            make_filter("vector", 8, budget_bytes=96)
+
+    def test_budget_bytes_respects_slot_size(self):
+        array_filter = make_filter("vector", budget_bytes=384)
+        assert array_filter.capacity == 32
+        pointer_filter = make_filter("stream-summary", budget_bytes=400)
+        assert pointer_filter.capacity == 4
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_filter("stream-summary", budget_bytes=50)
+
+
+class TestLifecycle:
+    def test_empty_filter(self, kind):
+        filter_ = make_filter(kind, 4)
+        assert len(filter_) == 0
+        assert not filter_.is_full
+        assert not filter_.add_if_present(1, 1)
+        assert filter_.get_counts(1) is None
+        assert filter_.get_new_count(1) is None
+
+    def test_insert_then_hit(self, kind):
+        filter_ = make_filter(kind, 4)
+        filter_.insert(10, 5, 0)
+        assert filter_.add_if_present(10, 3)
+        assert filter_.get_counts(10) == (8, 0)
+
+    def test_fill_to_capacity(self, kind):
+        filter_ = make_filter(kind, 3)
+        for key in range(3):
+            filter_.insert(key, key + 1, 0)
+        assert filter_.is_full
+        with pytest.raises(CapacityError):
+            filter_.insert(99, 1, 0)
+
+    def test_duplicate_insert_rejected(self, kind):
+        filter_ = make_filter(kind, 4)
+        filter_.insert(1, 1, 0)
+        with pytest.raises(CapacityError):
+            filter_.insert(1, 2, 0)
+
+    def test_zero_capacity_rejected(self, kind):
+        with pytest.raises((ConfigurationError, CapacityError)):
+            make_filter(kind, 0)
+
+
+class TestMinTracking:
+    def test_min_on_empty_raises(self, kind):
+        with pytest.raises(CapacityError):
+            make_filter(kind, 4).min_new_count()
+
+    def test_min_is_a_resident_count(self, kind):
+        filter_ = make_filter(kind, 4)
+        for key, count in [(1, 9), (2, 3), (3, 6)]:
+            filter_.insert(key, count, 0)
+        minimum = filter_.min_new_count()
+        assert minimum in {9, 3, 6}
+        assert minimum == 3  # exact before any relaxation can occur
+
+    def test_replace_min_evicts_minimum(self, kind):
+        filter_ = make_filter(kind, 3)
+        for key, count in [(1, 9), (2, 3), (3, 6)]:
+            filter_.insert(key, count, 0)
+        evicted = filter_.replace_min(7, 10, 10)
+        assert evicted.key == 2
+        assert evicted.new_count == 3
+        assert filter_.get_counts(7) == (10, 10)
+        assert filter_.get_counts(2) is None
+        assert len(filter_) == 3
+
+    def test_replace_min_existing_key_rejected(self, kind):
+        filter_ = make_filter(kind, 2)
+        filter_.insert(1, 5, 0)
+        filter_.insert(2, 7, 0)
+        with pytest.raises(CapacityError):
+            filter_.replace_min(1, 10, 10)
+
+    def test_replace_min_on_empty_raises(self, kind):
+        with pytest.raises(CapacityError):
+            make_filter(kind, 2).replace_min(1, 1, 1)
+
+
+class TestEntriesAndTopK:
+    def test_entries_roundtrip(self, kind):
+        filter_ = make_filter(kind, 4)
+        expected = {(1, 4, 0), (2, 8, 2), (3, 6, 6)}
+        for key, new, old in expected:
+            filter_.insert(key, new, old)
+        observed = {
+            (e.key, e.new_count, e.old_count) for e in filter_.entries()
+        }
+        assert observed == expected
+
+    def test_resident_count(self, kind):
+        filter_ = make_filter(kind, 2)
+        filter_.insert(1, 10, 4)
+        (entry,) = filter_.entries()
+        assert entry.resident_count == 6
+
+    def test_top_k_descending(self, kind):
+        filter_ = make_filter(kind, 5)
+        for key, count in [(1, 5), (2, 9), (3, 2), (4, 7)]:
+            filter_.insert(key, count, 0)
+        assert filter_.top_k(3) == [(2, 9), (4, 7), (1, 5)]
+
+
+class TestSetCounts:
+    def test_decrease_updates_counts(self, kind):
+        filter_ = make_filter(kind, 3)
+        filter_.insert(1, 10, 2)
+        filter_.set_counts(1, 6, 2)
+        assert filter_.get_counts(1) == (6, 2)
+
+    def test_decrease_can_change_min(self, kind):
+        filter_ = make_filter(kind, 3)
+        filter_.insert(1, 10, 0)
+        filter_.insert(2, 5, 0)
+        filter_.set_counts(1, 2, 0)
+        assert filter_.min_new_count() == 2
+        evicted = filter_.replace_min(9, 99, 99)
+        assert evicted.key == 1
+
+
+class TestExchangeSimulation:
+    def test_mimics_asketch_usage_pattern(self, kind, rng):
+        """Drive the filter exactly as Algorithm 1 would, then check state."""
+        filter_ = make_filter(kind, 8)
+        reference: dict[int, tuple[int, int]] = {}
+        for _ in range(2000):
+            key = int(rng.integers(0, 50))
+            amount = int(rng.integers(1, 4))
+            if filter_.add_if_present(key, amount):
+                new, old = reference[key]
+                reference[key] = (new + amount, old)
+            elif not filter_.is_full:
+                filter_.insert(key, amount, 0)
+                reference[key] = (amount, 0)
+            else:
+                estimate = int(rng.integers(1, 400))
+                if estimate > filter_.min_new_count():
+                    evicted = filter_.replace_min(key, estimate, estimate)
+                    expected_new, expected_old = reference.pop(evicted.key)
+                    assert (evicted.new_count, evicted.old_count) == (
+                        expected_new,
+                        expected_old,
+                    )
+                    reference[key] = (estimate, estimate)
+        for key, (new, old) in reference.items():
+            assert filter_.get_counts(key) == (new, old)
+
+
+class TestOpsAccounting:
+    def test_probe_charged_per_lookup(self, kind):
+        filter_ = make_filter(kind, 32)
+        before = filter_.ops.filter_probes
+        filter_.add_if_present(1, 1)
+        filter_.get_counts(1)
+        assert filter_.ops.filter_probes == before + 2
+
+    def test_hits_counted(self, kind):
+        filter_ = make_filter(kind, 4)
+        filter_.insert(1, 1, 0)
+        filter_.add_if_present(1, 1)
+        filter_.add_if_present(2, 1)
+        assert filter_.ops.filter_hits == 1
+
+    def test_size_bytes(self, kind):
+        filter_ = make_filter(kind, 10)
+        assert filter_.size_bytes == 10 * type(filter_).BYTES_PER_SLOT

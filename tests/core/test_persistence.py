@@ -1,0 +1,172 @@
+"""Tests for synopsis persistence (checkpoint / restore)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import StreamFormatError
+from repro.persistence import (
+    load_asketch,
+    load_count_min,
+    save_asketch,
+    save_count_min,
+)
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.zipf import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(30_000, 8_000, 1.4, seed=95)
+
+
+class TestCountMinRoundtrip:
+    def test_state_identical(self, stream, tmp_path):
+        sketch = CountMinSketch(8, total_bytes=32 * 1024, seed=4)
+        sketch.update_batch(stream.keys)
+        path = tmp_path / "cms.npz"
+        save_count_min(sketch, path)
+        restored = load_count_min(path)
+        np.testing.assert_array_equal(restored.table, sketch.table)
+        assert restored.num_hashes == sketch.num_hashes
+        assert restored.row_width == sketch.row_width
+
+    def test_future_behaviour_identical(self, stream, tmp_path):
+        """After restore, further updates land in the same cells."""
+        sketch = CountMinSketch(4, row_width=512, seed=5)
+        sketch.update_batch(stream.keys[:1000])
+        path = tmp_path / "cms.npz"
+        save_count_min(sketch, path)
+        restored = load_count_min(path)
+        for key in stream.keys[1000:2000].tolist():
+            sketch.update(key)
+            restored.update(key)
+        np.testing.assert_array_equal(restored.table, sketch.table)
+        probe = stream.keys[:50]
+        assert restored.estimate_batch(probe) == sketch.estimate_batch(probe)
+
+    def test_conservative_flag_survives(self, tmp_path):
+        sketch = CountMinSketch(4, row_width=64, seed=1, conservative=True)
+        path = tmp_path / "cms.npz"
+        save_count_min(sketch, path)
+        assert load_count_min(path).conservative
+
+
+class TestASketchRoundtrip:
+    def test_queries_identical(self, stream, tmp_path):
+        asketch = ASketch(total_bytes=64 * 1024, filter_items=16, seed=6)
+        asketch.process_stream(stream.keys)
+        path = tmp_path / "asketch.npz"
+        save_asketch(asketch, path)
+        restored = load_asketch(path)
+        probe = stream.keys[:300]
+        assert restored.query_batch(probe) == asketch.query_batch(probe)
+        assert restored.top_k(16) == asketch.top_k(16)
+
+    def test_statistics_survive(self, stream, tmp_path):
+        asketch = ASketch(total_bytes=64 * 1024, filter_items=16, seed=6)
+        asketch.process_stream(stream.keys)
+        path = tmp_path / "asketch.npz"
+        save_asketch(asketch, path)
+        restored = load_asketch(path)
+        assert restored.total_mass == asketch.total_mass
+        assert restored.overflow_mass == asketch.overflow_mass
+        assert restored.exchange_count == asketch.exchange_count
+        assert restored.achieved_selectivity == asketch.achieved_selectivity
+
+    def test_continues_identically(self, stream, tmp_path):
+        asketch = ASketch(total_bytes=64 * 1024, filter_items=16, seed=7)
+        asketch.process_stream(stream.keys[:15_000])
+        path = tmp_path / "asketch.npz"
+        save_asketch(asketch, path)
+        restored = load_asketch(path)
+        asketch.process_stream(stream.keys[15_000:])
+        restored.process_stream(stream.keys[15_000:])
+        probe = stream.keys[:300]
+        assert restored.query_batch(probe) == asketch.query_batch(probe)
+        assert restored.exchange_count == asketch.exchange_count
+
+    @pytest.mark.parametrize(
+        "kind", ["vector", "strict-heap", "relaxed-heap", "stream-summary"]
+    )
+    def test_all_filter_kinds(self, stream, tmp_path, kind):
+        asketch = ASketch(
+            total_bytes=32 * 1024, filter_items=8, filter_kind=kind, seed=8
+        )
+        asketch.process_stream(stream.keys[:5000])
+        path = tmp_path / "asketch.npz"
+        save_asketch(asketch, path)
+        restored = load_asketch(path)
+        assert restored.filter_kind == kind
+        assert {
+            (e.key, e.new_count, e.old_count)
+            for e in restored.filter.entries()
+        } == {
+            (e.key, e.new_count, e.old_count)
+            for e in asketch.filter.entries()
+        }
+
+    def test_non_count_min_backend_rejected(self, tmp_path):
+        asketch = ASketch(
+            total_bytes=32 * 1024, sketch_backend="count-sketch"
+        )
+        with pytest.raises(StreamFormatError):
+            save_asketch(asketch, tmp_path / "x.npz")
+
+
+class TestHierarchicalRoundtrip:
+    def test_state_and_queries_identical(self, stream, tmp_path):
+        from repro.persistence import load_hierarchical, save_hierarchical
+        from repro.sketches.hierarchical import HierarchicalCountMin
+
+        hierarchy = HierarchicalCountMin(
+            13, total_bytes=128 * 1024, num_hashes=4, seed=9
+        )
+        hierarchy.update_batch(stream.keys % 8192)
+        path = tmp_path / "hier.npz"
+        save_hierarchical(hierarchy, path)
+        restored = load_hierarchical(path)
+        assert restored.domain_bits == hierarchy.domain_bits
+        assert restored.total == hierarchy.total
+        for low, high in [(0, 8191), (100, 200), (4000, 8000)]:
+            assert restored.range_count(low, high) == (
+                hierarchy.range_count(low, high)
+            )
+        assert restored.top_k(10) == hierarchy.top_k(10)
+
+    def test_continues_identically(self, stream, tmp_path):
+        from repro.persistence import load_hierarchical, save_hierarchical
+        from repro.sketches.hierarchical import HierarchicalCountMin
+
+        hierarchy = HierarchicalCountMin(
+            10, total_bytes=64 * 1024, num_hashes=4, seed=10
+        )
+        keys = stream.keys % 1024
+        hierarchy.update_batch(keys[:10_000])
+        path = tmp_path / "hier.npz"
+        save_hierarchical(hierarchy, path)
+        restored = load_hierarchical(path)
+        hierarchy.update_batch(keys[10_000:20_000])
+        restored.update_batch(keys[10_000:20_000])
+        for key in range(0, 1024, 31):
+            assert restored.estimate(key) == hierarchy.estimate(key)
+
+
+class TestErrorHandling:
+    def test_kind_mismatch(self, tmp_path):
+        sketch = CountMinSketch(4, row_width=64)
+        path = tmp_path / "cms.npz"
+        save_count_min(sketch, path)
+        with pytest.raises(StreamFormatError):
+            load_asketch(path)
+
+    def test_hierarchical_kind_mismatch(self, tmp_path):
+        from repro.persistence import load_hierarchical
+
+        sketch = CountMinSketch(4, row_width=64)
+        path = tmp_path / "cms.npz"
+        save_count_min(sketch, path)
+        with pytest.raises(StreamFormatError):
+            load_hierarchical(path)

@@ -1,0 +1,95 @@
+"""Tests for the sliding-window extension (Appendix-A deletions)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.window import SlidingWindowASketch
+from repro.errors import ConfigurationError
+from repro.streams.zipf import zipf_stream
+
+
+class TestBasics:
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowASketch(0, total_bytes=32 * 1024)
+
+    def test_fill_phase(self):
+        window = SlidingWindowASketch(10, total_bytes=32 * 1024)
+        for key in range(5):
+            window.process(key)
+        assert len(window) == 5
+        assert not window.is_saturated
+        np.testing.assert_array_equal(
+            window.window_contents(), np.arange(5)
+        )
+
+    def test_eviction_order(self):
+        window = SlidingWindowASketch(3, total_bytes=32 * 1024)
+        for key in [1, 2, 3, 4, 5]:
+            window.process(key)
+        np.testing.assert_array_equal(
+            window.window_contents(), np.array([3, 4, 5])
+        )
+        assert len(window) == 3
+
+    def test_expired_key_count_drops(self):
+        window = SlidingWindowASketch(4, total_bytes=32 * 1024, seed=1)
+        for key in [7, 7, 7, 7]:
+            window.process(key)
+        assert window.query(7) == 4
+        for key in [8, 9, 10, 11]:
+            window.process(key)
+        assert window.query(7) == 0
+
+
+class TestOneSidedOverWindow:
+    def test_never_underestimates_window_counts(self, rng):
+        window = SlidingWindowASketch(
+            500, total_bytes=32 * 1024, filter_items=8, seed=2
+        )
+        keys = rng.integers(0, 60, size=3000)
+        for key in keys.tolist():
+            window.process(int(key))
+        truth = Counter(keys[-500:].tolist())
+        for key in range(60):
+            assert window.query(key) >= truth.get(key, 0)
+
+    def test_heavy_item_exact_in_window(self):
+        stream = zipf_stream(8000, 2000, 1.6, seed=93)
+        window = SlidingWindowASketch(
+            2000, total_bytes=64 * 1024, filter_items=32, seed=3
+        )
+        window.process_stream(stream.keys)
+        truth = Counter(stream.keys[-2000:].tolist())
+        top_key, top_count = truth.most_common(1)[0]
+        estimate = window.query(top_key)
+        assert estimate >= top_count
+        assert estimate <= top_count + 50
+
+
+class TestTopKOverWindow:
+    def test_topk_tracks_recent_distribution_shift(self):
+        """Keys dominant early must vanish from top-k once expired."""
+        window = SlidingWindowASketch(
+            1000, total_bytes=64 * 1024, filter_items=16, seed=4
+        )
+        early = np.full(2000, 111, dtype=np.int64)
+        late = np.full(2000, 222, dtype=np.int64)
+        window.process_stream(early)
+        assert window.top_k(1)[0][0] == 111
+        window.process_stream(late)
+        assert window.top_k(1)[0][0] == 222
+        assert window.query(111) == 0
+
+    def test_batch_query(self, rng):
+        window = SlidingWindowASketch(100, total_bytes=32 * 1024, seed=5)
+        keys = rng.integers(0, 20, size=500)
+        window.process_stream(keys)
+        probe = list(range(20))
+        assert window.query_batch(probe) == [
+            window.query(key) for key in probe
+        ]

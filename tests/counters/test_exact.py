@@ -1,0 +1,73 @@
+"""Unit tests for the exact ground-truth counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counters.exact import ExactCounter
+from repro.errors import NegativeCountError
+
+
+class TestCounting:
+    def test_update_and_lookup(self):
+        counter = ExactCounter()
+        counter.update(1)
+        counter.update(1, 4)
+        assert counter.count_of(1) == 5
+        assert counter.count_of(2) == 0
+        assert counter.estimate(1) == 5  # sketch-interface alias
+
+    def test_total_and_distinct(self):
+        counter = ExactCounter()
+        counter.update(1, 3)
+        counter.update(2, 2)
+        assert counter.total == 5
+        assert counter.distinct == 2
+        assert len(counter) == 2
+
+    def test_batch_matches_loop(self, rng):
+        keys = rng.integers(0, 50, size=2000)
+        batched = ExactCounter()
+        batched.update_batch(keys)
+        looped = ExactCounter()
+        for key in keys.tolist():
+            looped.update(int(key))
+        assert dict(batched.items()) == dict(looped.items())
+        assert batched.total == looped.total == 2000
+
+    def test_contains(self):
+        counter = ExactCounter()
+        counter.update(7)
+        assert 7 in counter
+        assert 8 not in counter
+
+
+class TestDeletion:
+    def test_delete_to_zero_removes_key(self):
+        counter = ExactCounter()
+        counter.update(1, 3)
+        counter.update(1, -3)
+        assert counter.count_of(1) == 0
+        assert 1 not in counter
+        assert counter.total == 0
+
+    def test_delete_below_zero_rejected(self):
+        counter = ExactCounter()
+        counter.update(1, 2)
+        with pytest.raises(NegativeCountError):
+            counter.update(1, -3)
+
+
+class TestRanking:
+    def test_top_k(self):
+        counter = ExactCounter()
+        for key, count in [(1, 5), (2, 9), (3, 1)]:
+            counter.update(key, count)
+        assert counter.top_k(2) == [(2, 9), (1, 5)]
+
+    def test_keys_by_frequency_breaks_ties_by_key(self):
+        counter = ExactCounter()
+        for key in [3, 1, 2]:
+            counter.update(key, 4)
+        assert counter.keys_by_frequency() == [1, 2, 3]

@@ -1,0 +1,61 @@
+"""Unit tests for the Lossy Counting extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counters.lossy_counting import LossyCounting
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_epsilon_rejected(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            LossyCounting(epsilon)
+
+    def test_window_size(self):
+        assert LossyCounting(0.01).window_size == 100
+        assert LossyCounting(0.003).window_size == 334
+
+
+class TestGuarantees:
+    def test_undercount_bounded(self, skewed_stream):
+        epsilon = 0.002
+        lossy = LossyCounting(epsilon)
+        n = 20000
+        lossy.update_batch(skewed_stream.keys[:n])
+        exact: dict[int, int] = {}
+        for key in skewed_stream.keys[:n].tolist():
+            exact[key] = exact.get(key, 0) + 1
+        for key, true in exact.items():
+            estimate = lossy.estimate(key)
+            assert estimate <= true
+            assert true - estimate <= epsilon * n + lossy.window_size
+
+    def test_frequent_items_survive(self, skewed_stream):
+        epsilon = 0.005
+        lossy = LossyCounting(epsilon)
+        n = 20000
+        lossy.update_batch(skewed_stream.keys[:n])
+        support = 0.02
+        frequent = {key for key, _ in lossy.frequent_items(support)}
+        for key, count in skewed_stream.prefix(n).exact.top_k(50):
+            if count >= support * n:
+                assert key in frequent
+
+    def test_pruning_shrinks_state(self, rng):
+        lossy = LossyCounting(0.01)
+        keys = rng.integers(0, 100_000, size=30_000)  # nearly all distinct
+        lossy.update_batch(np.asarray(keys))
+        # Without pruning there would be ~30K entries.
+        assert len(lossy) < 5_000
+
+    def test_frequent_items_sorted(self):
+        lossy = LossyCounting(0.01)
+        data = [1] * 50 + [2] * 30 + [3] * 10
+        lossy.update_batch(np.array(data))
+        items = lossy.frequent_items(0.05)
+        counts = [count for _, count in items]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,108 @@
+"""Unit tests for the Misra-Gries frequent-items counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counters.misra_gries import MisraGries
+from repro.errors import CapacityError
+
+
+class TestBasics:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            MisraGries(0)
+
+    def test_counts_exact_within_capacity(self):
+        mg = MisraGries(8)
+        for key in [1, 2, 1, 1, 3]:
+            mg.update(key)
+        assert mg.count_of(1) == 3
+        assert mg.count_of(2) == 1
+        assert mg.count_of(4) is None
+
+    def test_decrement_all_on_overflow(self):
+        mg = MisraGries(2)
+        mg.update(1)
+        mg.update(2)
+        mg.update(3)  # full: every counter decremented, 3 not inserted
+        assert len(mg) == 0
+        assert mg.total_decrements == 1
+
+    def test_surviving_counts_after_decrement(self):
+        mg = MisraGries(2)
+        for _ in range(5):
+            mg.update(1)
+        mg.update(2)
+        mg.update(3)  # decrement-all: 1 -> 4, 2 evicted
+        assert mg.count_of(1) == 4
+        assert mg.count_of(2) is None
+        assert len(mg) == 1
+
+    def test_freed_slots_reusable(self):
+        mg = MisraGries(2)
+        mg.update(1)
+        mg.update(2)
+        mg.update(3)  # clears both
+        mg.update(4)
+        assert mg.is_frequent(4)
+        assert len(mg) == 1
+
+
+class TestGuarantees:
+    def test_undercount_bounded_by_decrements(self, skewed_stream):
+        mg = MisraGries(32)
+        for key in skewed_stream.keys[:20000].tolist():
+            mg.update(key)
+        exact = {}
+        for key in skewed_stream.keys[:20000].tolist():
+            exact[key] = exact.get(key, 0) + 1
+        for key, count in mg.items():
+            assert count <= exact[key]
+            assert exact[key] - count <= mg.total_decrements
+
+    def test_heavy_items_monitored(self, skewed_stream):
+        """Items with frequency > N/(k+1) must be monitored."""
+        k = 32
+        n = 20000
+        mg = MisraGries(k)
+        keys = skewed_stream.keys[:n].tolist()
+        for key in keys:
+            mg.update(key)
+        counts: dict[int, int] = {}
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+        for key, count in counts.items():
+            if count > n / (k + 1):
+                assert mg.is_frequent(key), (key, count)
+
+    def test_items_sorted_descending(self):
+        mg = MisraGries(8)
+        data = [1] * 5 + [2] * 3 + [3] * 7
+        for key in data:
+            mg.update(key)
+        items = mg.items()
+        counts = [count for _, count in items]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestWeightedAndOps:
+    def test_weighted_update(self):
+        mg = MisraGries(4)
+        mg.update(1, 10)
+        assert mg.count_of(1) == 10
+
+    def test_probe_costs_charged(self):
+        mg = MisraGries(32)
+        before = mg.ops.filter_probe_blocks
+        mg.update(5)
+        assert mg.ops.filter_probe_blocks == before + 2  # ceil(32/16)
+
+    def test_mg_ops_charged_for_sweep(self):
+        mg = MisraGries(4)
+        for key in range(4):
+            mg.update(key)
+        before = mg.ops.mg_ops
+        mg.update(99)  # triggers decrement-all
+        assert mg.ops.mg_ops >= before + 1 + 4

@@ -1,0 +1,142 @@
+"""Unit tests for Space Saving, including its published guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counters.exact import ExactCounter
+from repro.counters.space_saving import BYTES_PER_ITEM, SpaceSaving
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_capacity_or_bytes_required(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving()
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=4, total_bytes=1000)
+
+    def test_bytes_budget_derives_capacity(self):
+        summary = SpaceSaving(total_bytes=1000)
+        assert summary.capacity == 1000 // BYTES_PER_ITEM
+        assert summary.size_bytes == summary.capacity * BYTES_PER_ITEM
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(total_bytes=BYTES_PER_ITEM - 1)
+
+    def test_bad_estimate_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=4, estimate_mode="median")
+
+
+class TestCounting:
+    def test_within_capacity_counts_exact(self):
+        summary = SpaceSaving(capacity=8)
+        for key in [1, 2, 1, 3, 1, 2]:
+            summary.update(key)
+        assert summary.estimate(1) == 3
+        assert summary.estimate(2) == 2
+        assert summary.estimate(3) == 1
+
+    def test_eviction_adopts_min_count(self):
+        summary = SpaceSaving(capacity=2)
+        summary.update(1)
+        summary.update(1)
+        summary.update(2)
+        summary.update(3)  # evicts 2 (count 1); 3 enters with count 2
+        assert 2 not in summary
+        assert summary.estimate(3) == 2
+        assert summary.guaranteed_count(3) == 1  # count - error
+
+    def test_overestimation_guarantee(self, skewed_stream):
+        """Monitored counts are within min_count of the truth (one-sided)."""
+        summary = SpaceSaving(capacity=64)
+        summary.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        for key, count in summary.top_k(64):
+            true = exact.count_of(key)
+            assert count >= true
+            assert count - true <= len(skewed_stream) / 64
+
+    def test_heavy_hitters_monitored(self, skewed_stream):
+        """Items above N/k are guaranteed to be monitored."""
+        capacity = 64
+        summary = SpaceSaving(capacity=capacity)
+        summary.update_batch(skewed_stream.keys)
+        threshold = len(skewed_stream) / capacity
+        for key, count in skewed_stream.exact.top_k(20):
+            if count > threshold:
+                assert key in summary
+
+
+class TestEstimateModes:
+    def test_min_mode_returns_min_for_unmonitored(self):
+        summary = SpaceSaving(capacity=2, estimate_mode="min")
+        for key in [1, 1, 2, 2]:
+            summary.update(key)
+        assert summary.estimate(999) == 2
+
+    def test_zero_mode_returns_zero_for_unmonitored(self):
+        summary = SpaceSaving(capacity=2, estimate_mode="zero")
+        for key in [1, 1, 2, 2]:
+            summary.update(key)
+        assert summary.estimate(999) == 0
+
+    def test_zero_mode_less_error_on_tail(self, skewed_stream):
+        """The paper's Figure 11 ordering: zero beats min on skewed data."""
+        zero = SpaceSaving(capacity=64, estimate_mode="zero")
+        minimum = SpaceSaving(capacity=64, estimate_mode="min")
+        zero.update_batch(skewed_stream.keys)
+        minimum.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        tail_keys = [key for key, _ in exact.top_k(800)[500:800]]
+        zero_error = sum(
+            abs(zero.estimate(k) - exact.count_of(k)) for k in tail_keys
+        )
+        min_error = sum(
+            abs(minimum.estimate(k) - exact.count_of(k)) for k in tail_keys
+        )
+        assert zero_error < min_error
+
+
+class TestTopK:
+    def test_topk_recovers_true_heavy_hitters(self, skewed_stream):
+        summary = SpaceSaving(capacity=128)
+        summary.update_batch(skewed_stream.keys)
+        reported = {key for key, _ in summary.top_k(10)}
+        truth = {key for key, _ in skewed_stream.exact.top_k(10)}
+        assert len(reported & truth) >= 8
+
+    def test_len_and_contains(self):
+        summary = SpaceSaving(capacity=4)
+        summary.update(1)
+        assert len(summary) == 1
+        assert 1 in summary
+        assert 2 not in summary
+
+
+class TestWeightedUpdates:
+    def test_weighted_update(self):
+        summary = SpaceSaving(capacity=4)
+        summary.update(1, 10)
+        summary.update(1, 5)
+        assert summary.estimate(1) == 15
+
+    def test_update_returns_monitored_count(self):
+        summary = SpaceSaving(capacity=4)
+        assert summary.update(1) == 1
+        assert summary.update(1) == 2
+
+
+class TestAgainstExact:
+    def test_total_monitored_mass_bounded(self, rng):
+        """Monitored mass never exceeds stream mass + k*min (sanity)."""
+        keys = rng.integers(0, 100, size=5000)
+        summary = SpaceSaving(capacity=16)
+        exact = ExactCounter()
+        summary.update_batch(np.asarray(keys))
+        exact.update_batch(np.asarray(keys))
+        monitored_mass = sum(count for _, count in summary.top_k(16))
+        assert monitored_mass <= exact.total + 16 * (exact.total / 16)

@@ -1,0 +1,204 @@
+"""Unit tests for the Stream-Summary bucket-list structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters.stream_summary import StreamSummary
+from repro.errors import CapacityError
+
+
+class TestBasics:
+    def test_empty_summary(self):
+        summary = StreamSummary(4)
+        assert len(summary) == 0
+        assert not summary.is_full
+        assert summary.min_count == 0
+        assert 5 not in summary
+
+    def test_insert_and_lookup(self):
+        summary = StreamSummary(4)
+        summary.insert(10, 3)
+        assert 10 in summary
+        assert summary.count_of(10) == 3
+        assert summary.count_of(11) is None
+
+    def test_capacity_zero_rejected(self):
+        with pytest.raises(CapacityError):
+            StreamSummary(0)
+
+    def test_insert_when_full_rejected(self):
+        summary = StreamSummary(2)
+        summary.insert(1, 1)
+        summary.insert(2, 1)
+        with pytest.raises(CapacityError):
+            summary.insert(3, 1)
+
+    def test_duplicate_insert_rejected(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 1)
+        with pytest.raises(CapacityError):
+            summary.insert(1, 5)
+
+    def test_payload_roundtrip(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 4, payload=99)
+        assert summary.payload_of(1) == 99
+        summary.set_payload(1, 42)
+        assert summary.payload_of(1) == 42
+
+
+class TestMinTracking:
+    def test_min_item_is_smallest(self):
+        summary = StreamSummary(4)
+        summary.insert(1, 10)
+        summary.insert(2, 3)
+        summary.insert(3, 7)
+        key, count, _ = summary.min_item()
+        assert (key, count) == (2, 3)
+
+    def test_min_updates_after_increment(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 1)
+        summary.insert(2, 2)
+        summary.increment(1, 5)  # 1 -> 6
+        key, count, _ = summary.min_item()
+        assert (key, count) == (2, 2)
+
+    def test_min_item_empty_raises(self):
+        with pytest.raises(CapacityError):
+            StreamSummary(2).min_item()
+
+    def test_evict_min_removes(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 5)
+        summary.insert(2, 1)
+        key, count, _ = summary.evict_min()
+        assert (key, count) == (2, 1)
+        assert 2 not in summary
+        assert len(summary) == 1
+
+    def test_ties_share_bucket(self):
+        summary = StreamSummary(4)
+        for key in range(4):
+            summary.insert(key, 7)
+        key, count, _ = summary.min_item()
+        assert count == 7
+        assert key in range(4)
+
+
+class TestIncrementDecrement:
+    def test_increment_returns_new_count(self):
+        summary = StreamSummary(2)
+        summary.insert(5, 1)
+        assert summary.increment(5, 3) == 4
+        assert summary.count_of(5) == 4
+
+    def test_many_increments_keep_order(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 1)
+        summary.insert(2, 1)
+        summary.insert(3, 1)
+        for _ in range(10):
+            summary.increment(1)
+        for _ in range(5):
+            summary.increment(2)
+        ordered = [key for key, _, _ in summary.items()]
+        assert ordered == [3, 2, 1]  # ascending count
+
+    def test_decrement(self):
+        summary = StreamSummary(2)
+        summary.insert(1, 10)
+        assert summary.decrement(1, 4) == 6
+        key, count, _ = summary.min_item()
+        assert (key, count) == (1, 6)
+
+    def test_decrement_below_zero_rejected(self):
+        summary = StreamSummary(2)
+        summary.insert(1, 2)
+        with pytest.raises(CapacityError):
+            summary.decrement(1, 3)
+
+    def test_decrement_can_change_min(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 10)
+        summary.insert(2, 5)
+        summary.decrement(1, 8)  # 1 -> 2, now the minimum
+        key, count, _ = summary.min_item()
+        assert (key, count) == (1, 2)
+
+
+class TestRemove:
+    def test_remove_returns_state(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 6, payload="p")
+        count, payload = summary.remove(1)
+        assert (count, payload) == (6, "p")
+        assert 1 not in summary
+
+    def test_remove_missing_raises_keyerror(self):
+        summary = StreamSummary(2)
+        with pytest.raises(KeyError):
+            summary.remove(9)
+
+    def test_remove_last_item_empties_bucket_chain(self):
+        summary = StreamSummary(2)
+        summary.insert(1, 3)
+        summary.remove(1)
+        assert summary.min_count == 0
+        summary.insert(2, 1)  # structure still usable
+        assert summary.count_of(2) == 1
+
+
+class TestTopK:
+    def test_top_k_descending(self):
+        summary = StreamSummary(5)
+        for key, count in [(1, 5), (2, 9), (3, 2), (4, 7)]:
+            summary.insert(key, count)
+        assert summary.top_k(3) == [(2, 9), (4, 7), (1, 5)]
+
+    def test_top_k_larger_than_size(self):
+        summary = StreamSummary(3)
+        summary.insert(1, 1)
+        assert summary.top_k(10) == [(1, 1)]
+
+
+class TestOpsAccounting:
+    def test_pointer_derefs_charged(self):
+        summary = StreamSummary(4)
+        before = summary.ops.pointer_derefs
+        summary.insert(1, 1)
+        summary.increment(1)
+        assert summary.ops.pointer_derefs > before
+
+    def test_hashtable_ops_charged(self):
+        summary = StreamSummary(4)
+        before = summary.ops.hashtable_ops
+        summary.insert(1, 1)
+        _ = 1 in summary
+        assert summary.ops.hashtable_ops >= before + 2
+
+
+class TestStressConsistency:
+    def test_random_ops_match_reference_dict(self, rng):
+        """The structure must track an exact dict under mixed workloads."""
+        summary = StreamSummary(16)
+        reference: dict[int, int] = {}
+        for _ in range(3000):
+            key = int(rng.integers(0, 40))
+            if key in reference:
+                summary.increment(key)
+                reference[key] += 1
+            elif len(reference) < 16:
+                summary.insert(key, 1)
+                reference[key] = 1
+            else:
+                evicted_key, evicted_count, _ = summary.evict_min()
+                assert reference.pop(evicted_key) == evicted_count
+                assert evicted_count == min(
+                    set(reference.values()) | {evicted_count}
+                )
+                summary.insert(key, 1)
+                reference[key] = 1
+        for key, count in reference.items():
+            assert summary.count_of(key) == count

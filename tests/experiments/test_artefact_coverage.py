@@ -1,0 +1,51 @@
+"""Meta-tests: every paper artefact has its experiment and benchmark."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import experiment_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+EXPERIMENT_DIR = REPO_ROOT / "src" / "repro" / "experiments"
+
+
+class TestCoverage:
+    def test_every_artefact_has_a_bench(self):
+        missing = [
+            experiment_id
+            for experiment_id in experiment_ids()
+            if not (BENCH_DIR / f"bench_{experiment_id}.py").exists()
+        ]
+        assert missing == []
+
+    def test_every_artefact_has_an_experiment_module(self):
+        missing = [
+            experiment_id
+            for experiment_id in experiment_ids()
+            if not (EXPERIMENT_DIR / f"exp_{experiment_id}.py").exists()
+        ]
+        assert missing == []
+
+    def test_no_orphan_experiment_modules(self):
+        registered = {f"exp_{eid}.py" for eid in experiment_ids()}
+        on_disk = {
+            path.name
+            for path in EXPERIMENT_DIR.glob("exp_*.py")
+        }
+        assert on_disk == registered
+
+    @pytest.mark.parametrize("experiment_id", experiment_ids())
+    def test_experiment_module_documents_the_paper_artefact(
+        self, experiment_id
+    ):
+        """Each module's docstring names its table/figure explicitly."""
+        module_path = EXPERIMENT_DIR / f"exp_{experiment_id}.py"
+        text = module_path.read_text(encoding="utf-8")
+        label = experiment_id.replace("table", "Table ").replace(
+            "figure", "Figure "
+        )
+        assert label in text, f"{module_path.name} lacks '{label}'"

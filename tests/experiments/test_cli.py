@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure17" in out
+        assert out.count("\n") == 21
+
+
+class TestRun:
+    def test_runs_small_experiment(self, capsys):
+        code = main(["run", "figure3", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure3" in out
+        assert "|F|=32" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        code = main(["run", "figure99"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "figure99" in err
+
+    def test_options_forwarded(self, capsys):
+        code = main(
+            ["run", "table5", "--scale", "0.05", "--synopsis-kb", "64",
+             "--filter-items", "16", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k = 16" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,117 @@
+"""Tests for the shared experiment machinery (method factory, phases)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.counters.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    METHOD_LABELS,
+    build_method,
+    full_stream,
+    measure_query_phase,
+    measure_update_phase,
+    modeled_throughput,
+    query_set,
+    real_stream,
+    sketch_bytes_of,
+    sweep_stream,
+    total_ops,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.holistic_udaf import HolisticUDAF
+
+CONFIG = ExperimentConfig(scale=0.05, seed=2)
+
+
+class TestBuildMethod:
+    @pytest.mark.parametrize("name", sorted(METHOD_LABELS))
+    def test_every_method_buildable(self, name):
+        method = build_method(name, CONFIG)
+        assert hasattr(method, "process_stream")
+        assert hasattr(method, "estimate_batch")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_method("bloom", CONFIG)
+
+    def test_same_budget_for_all(self):
+        for name in ("count-min", "fcm", "holistic-udaf", "asketch"):
+            method = build_method(name, CONFIG)
+            assert method.size_bytes <= CONFIG.synopsis_bytes
+            assert method.size_bytes > CONFIG.synopsis_bytes * 0.95
+
+
+class TestOpsPlumbing:
+    def test_total_ops_merges_asketch(self):
+        asketch = build_method("asketch", CONFIG)
+        asketch.process_stream(np.arange(500, dtype=np.int64))
+        ops = total_ops(asketch)
+        assert ops.filter_probes > 0
+        assert ops.hash_evals > 0
+
+    def test_total_ops_merges_hudaf_sketch(self):
+        hudaf = build_method("holistic-udaf", CONFIG)
+        hudaf.process_stream(np.arange(500, dtype=np.int64))
+        ops = total_ops(hudaf)
+        assert ops.hash_evals > 0  # lives on the internal sketch
+
+    def test_sketch_bytes_of(self):
+        asketch = build_method("asketch", CONFIG)
+        assert sketch_bytes_of(asketch) == asketch.sketch.size_bytes
+        cms = build_method("count-min", CONFIG)
+        assert sketch_bytes_of(cms) == cms.size_bytes
+
+
+class TestPhases:
+    def test_update_phase_counts_items(self):
+        method = build_method("count-min", CONFIG)
+        keys = np.arange(2000, dtype=np.int64)
+        phase = measure_update_phase(method, keys)
+        assert phase.n_items == 2000
+        assert phase.ops.items == 2000
+        assert phase.ops.hash_evals == 2000 * CONFIG.num_hashes
+        assert phase.wall_seconds > 0
+
+    def test_query_phase_isolated_from_update(self):
+        method = build_method("asketch", CONFIG)
+        keys = np.arange(2000, dtype=np.int64)
+        measure_update_phase(method, keys)
+        query_phase, estimates = measure_query_phase(method, keys[:100])
+        assert query_phase.ops.items == 100
+        assert len(estimates) == 100
+        # Update-phase hashes must not leak into the query phase record.
+        assert query_phase.ops.sketch_cell_writes == 0
+
+    def test_modeled_throughput_positive(self):
+        method = build_method("count-min", CONFIG)
+        phase = measure_update_phase(method, np.arange(500, dtype=np.int64))
+        assert modeled_throughput(phase, method) > 0
+
+
+class TestStreamsAndQueries:
+    def test_streams_cached(self):
+        first = sweep_stream(CONFIG, 1.5)
+        second = sweep_stream(CONFIG, 1.5)
+        assert first is second
+
+    def test_full_vs_sweep_sizes(self):
+        assert len(full_stream(CONFIG, 1.0)) == CONFIG.stream_size
+        assert len(sweep_stream(CONFIG, 1.0)) == CONFIG.sweep_stream_size
+
+    def test_real_streams(self):
+        for name in ("ip-trace", "kosarak"):
+            stream = real_stream(CONFIG, name)
+            assert stream.name == name
+            assert len(stream) == CONFIG.stream_size
+        with pytest.raises(ConfigurationError):
+            real_stream(CONFIG, "nyc-taxi")
+
+    def test_query_set_size(self):
+        stream = sweep_stream(CONFIG, 1.0)
+        queries = query_set(stream, CONFIG)
+        assert len(queries) == CONFIG.queries

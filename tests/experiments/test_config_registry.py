@@ -1,0 +1,91 @@
+"""Tests for the experiment config, registry and result plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownExperimentError
+from repro.experiments import ExperimentConfig, experiment_ids, get_experiment
+from repro.experiments.registry import describe
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import format_result
+
+
+class TestConfig:
+    def test_scale_multiplies_sizes(self):
+        config = ExperimentConfig(scale=0.5)
+        assert config.stream_size == 200_000
+        assert config.distinct == 50_000
+
+    def test_sweep_sizes_halved(self):
+        config = ExperimentConfig(scale=1.0)
+        assert config.sweep_stream_size == config.stream_size // 2
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(scale=0)
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(runs=0)
+
+    def test_with_scale_copies(self):
+        config = ExperimentConfig(seed=7)
+        scaled = config.with_scale(0.1)
+        assert scaled.seed == 7
+        assert scaled.scale == 0.1
+        assert config.scale == 1.0
+
+    def test_queries_scale_down(self):
+        assert ExperimentConfig(scale=0.1).queries == 2000
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        ids = experiment_ids()
+        for table in range(1, 8):
+            assert f"table{table}" in ids
+        for figure in (3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17):
+            assert f"figure{figure}" in ids
+        assert len(ids) == 21
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(UnknownExperimentError):
+            get_experiment("figure99")
+
+    def test_descriptions_nonempty(self):
+        for experiment_id in experiment_ids():
+            assert describe(experiment_id)
+
+    def test_every_experiment_resolves(self):
+        for experiment_id in experiment_ids():
+            assert callable(get_experiment(experiment_id))
+
+
+class TestResultAndFormatting:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            columns=["name", "value"],
+            rows=[
+                {"name": "a", "value": 1.5},
+                {"name": "b", "value": 120000.0},
+            ],
+            notes=["a note"],
+        )
+
+    def test_column_accessor(self):
+        assert self._result().column("name") == ["a", "b"]
+
+    def test_row_for(self):
+        assert self._result().row_for("name", "b")["value"] == 120000.0
+        with pytest.raises(KeyError):
+            self._result().row_for("name", "zz")
+
+    def test_format_contains_everything(self):
+        text = format_result(self._result())
+        assert "demo" in text
+        assert "a note" in text
+        assert "120,000" in text
+        assert "1.50" in text

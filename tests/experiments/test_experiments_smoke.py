@@ -1,0 +1,193 @@
+"""Smoke-run every experiment at a tiny scale and check shape invariants.
+
+These are integration tests of the whole stack (generators -> synopses ->
+metrics -> result rows); the paper's quantitative shapes are asserted
+only where they are robust at the reduced scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+TINY = ExperimentConfig(scale=0.05, runs=2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at tiny scale and share the outputs."""
+    cache = {}
+
+    def get(experiment_id: str):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(experiment_id, TINY)
+        return cache[experiment_id]
+
+    return get
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        [
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "figure3", "figure5", "figure6", "figure7",
+            "figure8", "figure9", "figure10", "figure11", "figure12",
+            "figure13", "figure14", "figure15", "figure16", "figure17",
+        ],
+    )
+    def test_rows_match_columns(self, results, experiment_id):
+        result = results(experiment_id)
+        assert result.experiment_id == experiment_id
+        assert result.rows, experiment_id
+        for row in result.rows:
+            assert list(row.keys()) == result.columns
+
+
+class TestTable1Shape:
+    def test_asketch_fastest_updates(self, results):
+        rows = {r["method"]: r for r in results("table1").rows}
+        assert (
+            rows["ASketch"]["updates/ms (modeled)"]
+            > rows["Count-Min"]["updates/ms (modeled)"]
+        )
+        assert (
+            rows["ASketch"]["updates/ms (modeled)"]
+            > rows["Holistic UDAFs"]["updates/ms (modeled)"]
+        )
+
+    def test_asketch_fastest_queries(self, results):
+        rows = {r["method"]: r for r in results("table1").rows}
+        assert (
+            rows["ASketch"]["queries/ms (modeled)"]
+            > 2 * rows["Count-Min"]["queries/ms (modeled)"]
+        )
+
+    def test_asketch_most_accurate(self, results):
+        rows = {r["method"]: r for r in results("table1").rows}
+        for method in ("Count-Min", "FCM", "Holistic UDAFs"):
+            assert (
+                rows["ASketch"]["observed error (%)"]
+                <= rows[method]["observed error (%)"]
+            )
+
+
+class TestFigure3Shape:
+    def test_selectivity_decreases_with_skew(self, results):
+        series = results("figure3").column("|F|=32")
+        assert series[0] > series[-1]
+        assert series == sorted(series, reverse=True)
+
+    def test_bigger_filter_lower_selectivity(self, results):
+        for row in results("figure3").rows:
+            assert row["|F|=8"] >= row["|F|=32"] >= row["|F|=128"]
+
+
+class TestFigure5Shape:
+    def test_asketch_gains_with_skew(self, results):
+        result = results("figure5")
+        first = result.rows[0]["ASketch upd/ms"]
+        last = result.rows[-1]["ASketch upd/ms"]
+        assert last > 3 * first
+
+    def test_count_min_flat(self, results):
+        series = results("figure5").column("Count-Min upd/ms")
+        assert max(series) / min(series) < 1.05
+
+    def test_asketch_overtakes_count_min(self, results):
+        result = results("figure5")
+        high_skew = result.rows[-1]
+        assert high_skew["ASketch upd/ms"] > 5 * high_skew["Count-Min upd/ms"]
+
+
+class TestAccuracyShapes:
+    def test_figure7_asketch_beats_cms_at_high_skew(self, results):
+        rows = results("figure7").rows
+        last = rows[-1]  # skew 1.8
+        assert last["ASketch err (%)"] <= last["Count-Min err (%)"]
+
+    def test_figure8_filter_helps_fcm(self, results):
+        rows = results("figure8").rows
+        last = rows[-1]
+        assert last["ASketch-FCM err (%)"] <= last["FCM err (%)"]
+
+    def test_table5_precision_high_at_skew(self, results):
+        result = results("table5")
+        assert result.row_for("skew", 1.5)["precision-at-k"] >= 0.9
+        assert result.row_for("skew", 2.0)["precision-at-k"] >= 0.9
+
+    def test_table6_stream_summary_monitors_fewer(self, results):
+        rows = {r["filter type"]: r for r in results("table6").rows}
+        assert rows["stream-summary"]["items monitored"] == 4
+        assert rows["vector"]["items monitored"] == 32
+
+
+class TestExchangeAndSelectivity:
+    def test_figure9_exchanges_decline(self, results):
+        series = results("figure9").column("exchanges")
+        assert series[0] > series[-1]
+        assert series[-1] < 100
+
+    def test_figure17_predicted_close_to_achieved(self, results):
+        for row in results("figure17").rows:
+            assert row["achieved N2/N"] == pytest.approx(
+                row["predicted N2/N"], abs=0.12
+            )
+
+
+class TestParallelShapes:
+    def test_figure12_speedup_band(self, results):
+        rows = results("figure12").rows
+        speedups = {row["skew"]: row["ASketch pipeline speedup"] for row in rows}
+        midband = max(speedups[s] for s in (1.25, 1.5, 1.75, 2.0))
+        assert midband > 1.4
+        assert speedups[3.0] < midband
+
+    def test_figure13_linear_scaling_and_gap(self, results):
+        rows = results("figure13").rows
+        first, last = rows[0], rows[-1]
+        assert last["cores"] == 32
+        assert last["ASketch items/ms"] > 25 * first["ASketch items/ms"]
+        assert last["ASketch/CMS ratio"] > 2.0
+
+    def test_figure14_relaxed_beats_strict(self, results):
+        rows = results("figure14").rows
+        mid = [row for row in rows if 0.75 <= row["skew"] <= 1.75]
+        relaxed = sum(row["relaxed-heap items/ms"] for row in mid)
+        strict = sum(row["strict-heap items/ms"] for row in mid)
+        assert relaxed > strict
+
+
+class TestSizeSensitivity:
+    def test_figure15_throughput_decays_for_large_filters(self, results):
+        rows = results("figure15").rows
+        by_label = {row["filter size"]: row for row in rows}
+        small = by_label["0.4KB (32 items)"]["items/ms (modeled)"]
+        large = by_label["12.0KB (1024 items)"]["items/ms (modeled)"]
+        assert small > large
+
+    def test_figure16_tail_error_comparable(self, results):
+        for row in results("figure16").rows:
+            cms, asketch = row["Count-Min ARE"], row["ASketch ARE"]
+            assert asketch <= cms * 3 + 1e-6
+
+    def test_table7_worst_items_comparable(self, results):
+        for row in results("table7").rows:
+            cms = row["Count-Min avg top-10 error"]
+            asketch = row["ASketch avg top-10 error"]
+            assert asketch <= cms * 3 + 5
+
+
+class TestTable2:
+    def test_analytic_rows_consistent(self, results):
+        result = results("table2")
+        cm = result.row_for("method", "Count-Min")
+        asketch = result.row_for("method", "ASketch")
+        assert asketch["throughput (items/ms)"] > cm["throughput (items/ms)"]
+        assert (
+            asketch["expected error bound"] < cm["expected error bound"]
+        )
+        assert cm["error probability"] == pytest.approx(math.exp(-8))

@@ -1,0 +1,52 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import generate_report, write_report
+
+TINY = ExperimentConfig(scale=0.05, runs=1, seed=2)
+
+
+class TestGenerate:
+    def test_single_section(self):
+        text = generate_report(TINY, ["figure3"])
+        assert "## figure3" in text
+        assert "| skew |" in text
+        assert "scale 0.05" in text
+
+    def test_notes_rendered_as_quotes(self):
+        text = generate_report(TINY, ["figure3"])
+        assert "> Paper reading" in text
+
+    def test_subset_respected(self):
+        text = generate_report(TINY, ["figure3", "table5"])
+        assert "## figure3" in text
+        assert "## table5" in text
+        assert "## table1" not in text
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "report.md", TINY, ["figure3"])
+        assert path.exists()
+        assert "# ASketch reproduction report" in path.read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        output = tmp_path / "r.md"
+        code = main(
+            ["report", str(output), "--scale", "0.05", "--only", "figure3"]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "report written" in capsys.readouterr().out
+
+    def test_cli_report_unknown_id(self, tmp_path, capsys):
+        code = main(
+            ["report", str(tmp_path / "r.md"), "--only", "figure99"]
+        )
+        assert code == 1
+        assert "figure99" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Edge-case tests for the result formatter."""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import _format_cell, format_result
+
+
+class TestFormatCell:
+    def test_zero_float(self):
+        assert _format_cell(0.0) == "0"
+
+    def test_large_float_thousands_separator(self):
+        assert _format_cell(26739.4) == "26,739"
+
+    def test_mid_float_two_decimals(self):
+        assert _format_cell(3.14159) == "3.14"
+
+    def test_tiny_float_scientific(self):
+        assert _format_cell(0.0000004) == "4e-07"
+
+    def test_infinity(self):
+        assert _format_cell(float("inf")) == "inf"
+
+    def test_int_thousands_separator(self):
+        assert _format_cell(1234567) == "1,234,567"
+
+    def test_string_passthrough(self):
+        assert _format_cell("Count-Min") == "Count-Min"
+
+
+class TestFormatResult:
+    def test_alignment_and_sections(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="Title",
+            columns=["name", "value"],
+            rows=[{"name": "long-method-name", "value": 1}],
+            notes=["note one", "note two"],
+        )
+        text = format_result(result)
+        lines = text.splitlines()
+        assert lines[0] == "== x: Title =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert text.count("note:") == 2
+
+    def test_empty_rows_render_header_only(self):
+        result = ExperimentResult(
+            experiment_id="x", title="T", columns=["a"], rows=[]
+        )
+        text = format_result(result)
+        assert "a" in text

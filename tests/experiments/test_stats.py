@@ -1,0 +1,80 @@
+"""Tests for the replication-statistics helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import ExperimentResult
+from repro.experiments.stats import (
+    ColumnSummary,
+    replication_table,
+    run_replicates,
+    summarize_column,
+)
+
+TINY = ExperimentConfig(scale=0.05, runs=1, seed=5)
+
+
+def fake_result(values: dict[str, float]) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="demo",
+        title="demo",
+        columns=["skew", "metric"],
+        rows=[{"skew": key, "metric": value} for key, value in values.items()],
+    )
+
+
+class TestSummarize:
+    def test_mean_std_min_max(self):
+        results = [
+            fake_result({"a": 1.0, "b": 10.0}),
+            fake_result({"a": 3.0, "b": 10.0}),
+        ]
+        summary = summarize_column(results, "skew", "metric")
+        assert summary["a"] == ColumnSummary(2.0, pytest.approx(1.414, rel=1e-3), 1.0, 3.0, 2)
+        assert summary["b"].std == 0.0
+
+    def test_single_replicate_std_zero(self):
+        summary = summarize_column([fake_result({"a": 4.0})], "skew", "metric")
+        assert summary["a"].std == 0.0
+        assert summary["a"].replicates == 1
+
+    def test_non_finite_values_excluded(self):
+        results = [
+            fake_result({"a": 2.0}),
+            fake_result({"a": float("inf")}),
+        ]
+        summary = summarize_column(results, "skew", "metric")
+        assert summary["a"].mean == 2.0
+        assert summary["a"].replicates == 1
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_column([], "skew", "metric")
+
+
+class TestRunReplicates:
+    def test_distinct_seeds_distinct_results(self):
+        results = run_replicates("table5", TINY, 2)
+        assert len(results) == 2
+        # Same structure, possibly different precision values.
+        assert results[0].columns == results[1].columns
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            run_replicates("table5", TINY, 0)
+
+
+class TestReplicationTable:
+    def test_end_to_end(self):
+        table = replication_table(
+            "table5", TINY, 2, key_column="skew",
+            value_column="precision-at-k",
+        )
+        assert table.experiment_id == "table5-replicated"
+        assert len(table.rows) == 6
+        for row in table.rows:
+            assert 0.0 <= row["precision-at-k (mean)"] <= 1.0
+            assert row["precision-at-k (min)"] <= row["precision-at-k (max)"]

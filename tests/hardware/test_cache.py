@@ -1,0 +1,108 @@
+"""Tests for the set-associative cache simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cache import (
+    SetAssociativeCache,
+    simulate_sketch_hit_ratios,
+    sketch_access_trace,
+)
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.zipf import zipf_stream
+
+
+class TestCacheMechanics:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(0)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(64, line_bytes=64, ways=8)  # 1 line, 8 ways
+
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(4096)
+        assert not cache.access(128)
+        assert cache.access(128)
+        assert cache.access(130)  # same line
+        assert cache.stats.hits == 2
+        assert cache.stats.accesses == 3
+
+    def test_line_granularity(self):
+        cache = SetAssociativeCache(4096, line_bytes=64)
+        cache.access(0)
+        assert cache.access(63)       # same line
+        assert not cache.access(64)   # next line
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, 2-set cache: lines 0, 4, 8 map to set 0 (line % 2).
+        cache = SetAssociativeCache(256, line_bytes=64, ways=2)
+        assert cache.n_sets == 2
+        cache.access(0)       # line 0 -> set 0
+        cache.access(128)     # line 2 -> set 0
+        cache.access(256)     # line 4 -> set 0, evicts line 0 (LRU)
+        assert not cache.access(0)    # miss: was evicted
+        assert cache.access(256)      # still resident
+
+    def test_working_set_within_capacity_hits(self):
+        cache = SetAssociativeCache(8 * 1024)
+        addresses = np.tile(np.arange(0, 4096, 64), 10)
+        cache.access_many(addresses)
+        # After the first cold pass, everything hits.
+        assert cache.stats.hit_ratio > 0.85
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        cache = SetAssociativeCache(4 * 1024)
+        addresses = np.tile(np.arange(0, 1024 * 1024, 64), 3)
+        cache.access_many(addresses)
+        assert cache.stats.hit_ratio < 0.05
+
+    def test_reset_stats(self):
+        cache = SetAssociativeCache(4096)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+
+class TestSketchTraces:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        stream = zipf_stream(20_000, 5_000, 1.0, seed=131)
+        sketch = CountMinSketch(8, total_bytes=128 * 1024, seed=7)
+        return sketch, stream
+
+    def test_trace_shape_and_bounds(self, setting):
+        sketch, stream = setting
+        trace = sketch_access_trace(sketch, stream.keys[:1000])
+        assert trace.shape[0] == 8 * 1000
+        assert trace.min() >= 0
+        assert trace.max() < sketch.size_bytes
+
+    def test_trace_interleaves_rows_per_item(self, setting):
+        sketch, stream = setting
+        trace = sketch_access_trace(sketch, stream.keys[:10])
+        # First 8 addresses belong to the first item: one per row region.
+        first = trace[:8] // (sketch.row_width * 4)
+        np.testing.assert_array_equal(first, np.arange(8))
+
+    def test_paper_cache_hierarchy_split(self, setting):
+        """The §7.1 premise: a 128KB sketch lives in L2 (high simulated
+        L2 hit ratio) but not in L1 (poor L1 hit ratio)."""
+        sketch, stream = setting
+        ratios = simulate_sketch_hit_ratios(
+            sketch,
+            stream.keys[:4000],
+            cache_sizes={"L1": 32 * 1024, "L2": 256 * 1024},
+        )
+        assert ratios["L2"].hit_ratio > 0.75
+        assert ratios["L1"].hit_ratio < ratios["L2"].hit_ratio - 0.15
+
+    def test_small_sketch_fits_l1(self):
+        stream = zipf_stream(20_000, 5_000, 1.0, seed=132)
+        small = CountMinSketch(8, total_bytes=8 * 1024, seed=8)
+        ratios = simulate_sketch_hit_ratios(
+            small, stream.keys[:4000], cache_sizes={"L1": 32 * 1024}
+        )
+        assert ratios["L1"].hit_ratio > 0.9

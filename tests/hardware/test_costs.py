@@ -1,0 +1,100 @@
+"""Tests for the operation counters and the calibrated cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.costs import (
+    CACHE_CAPACITY_BYTES,
+    CacheLevel,
+    CostModel,
+    OpCounters,
+    residency,
+)
+
+
+class TestOpCounters:
+    def test_merge_adds_fields(self):
+        a = OpCounters(items=5, hash_evals=10)
+        b = OpCounters(items=2, exchanges=3)
+        a.merge(b)
+        assert a.items == 7
+        assert a.hash_evals == 10
+        assert a.exchanges == 3
+
+    def test_snapshot_is_independent(self):
+        ops = OpCounters(items=1)
+        snap = ops.snapshot()
+        ops.items = 99
+        assert snap.items == 1
+
+    def test_diff(self):
+        ops = OpCounters(items=10, hash_evals=80)
+        earlier = OpCounters(items=4, hash_evals=32)
+        delta = ops.diff(earlier)
+        assert delta.items == 6
+        assert delta.hash_evals == 48
+
+    def test_reset(self):
+        ops = OpCounters(items=3, messages=2)
+        ops.reset()
+        assert ops.items == 0
+        assert ops.messages == 0
+
+
+class TestResidency:
+    def test_levels(self):
+        assert residency(256) is CacheLevel.REGISTER
+        assert residency(16 * 1024) is CacheLevel.L1
+        assert residency(128 * 1024) is CacheLevel.L2
+        assert residency(4 * 1024 * 1024) is CacheLevel.L3
+        assert residency(64 * 1024 * 1024) is CacheLevel.DRAM
+
+    def test_boundaries_inclusive(self):
+        assert residency(CACHE_CAPACITY_BYTES[CacheLevel.L1]) is CacheLevel.L1
+        assert residency(CACHE_CAPACITY_BYTES[CacheLevel.L2]) is CacheLevel.L2
+
+
+class TestCostModel:
+    def test_count_min_calibration(self):
+        """The paper's Count-Min baseline: ~6 500 items/ms for a 128KB,
+        w=8 sketch on the 2.27 GHz machine (Table 1: 6 481)."""
+        model = CostModel()
+        n = 100_000
+        ops = OpCounters(
+            items=n, hash_evals=8 * n, sketch_cell_writes=8 * n
+        )
+        throughput = model.throughput_items_per_ms(ops, 128 * 1024)
+        assert throughput == pytest.approx(6481, rel=0.1)
+
+    def test_smaller_sketch_is_faster(self):
+        model = CostModel()
+        ops = OpCounters(items=100, hash_evals=800, sketch_cell_writes=800)
+        small = model.throughput_items_per_ms(ops, 16 * 1024)
+        large = model.throughput_items_per_ms(ops, 8 * 1024 * 1024)
+        assert small > large
+
+    def test_zero_items_zero_throughput(self):
+        model = CostModel()
+        assert model.throughput_items_per_ms(OpCounters(), 1024) == 0.0
+
+    def test_cycles_additive(self):
+        model = CostModel()
+        a = OpCounters(items=10)
+        b = OpCounters(hash_evals=10)
+        merged = a.snapshot()
+        merged.merge(b)
+        assert model.cycles(merged, 1024) == pytest.approx(
+            model.cycles(a, 1024) + model.cycles(b, 1024)
+        )
+
+    def test_filter_hit_path_cheaper_than_sketch_path(self):
+        """The core §4 premise: t_f << t_s."""
+        model = CostModel()
+        filter_hit = OpCounters(items=1, filter_probes=1,
+                                filter_probe_blocks=2, filter_hits=1)
+        sketch_update = OpCounters(items=1, hash_evals=8,
+                                   sketch_cell_writes=8)
+        assert model.cycles(filter_hit, 512) < (
+            model.cycles(sketch_update, 128 * 1024) / 5
+        )

@@ -1,0 +1,132 @@
+"""Tests for the event-driven pipeline replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError
+from repro.hardware.costs import CostModel
+from repro.hardware.event_pipeline import EventDrivenPipeline
+from repro.streams.zipf import zipf_stream
+
+
+def make_pipeline(**overrides) -> EventDrivenPipeline:
+    parameters = dict(
+        hit_cycles=30.0, miss_cycles=40.0, sketch_cycles=350.0,
+        queue_capacity=64,
+    )
+    parameters.update(overrides)
+    return EventDrivenPipeline(**parameters)
+
+
+class TestBasics:
+    def test_empty_trace(self):
+        result = make_pipeline().run(np.array([], dtype=bool))
+        assert result.total_cycles == 0.0
+        assert result.throughput_items_per_ms == 0.0
+
+    def test_all_hits_is_filter_bound(self):
+        result = make_pipeline().run(np.zeros(1000, dtype=bool))
+        assert result.total_cycles == pytest.approx(1000 * 30.0)
+        assert result.stall_cycles == 0.0
+        assert result.max_queue_depth == 0
+
+    def test_all_misses_is_sketch_bound(self):
+        result = make_pipeline().run(np.ones(1000, dtype=bool))
+        # C1 is the bottleneck: ~1000 * 350 cycles end to end.
+        assert result.total_cycles == pytest.approx(
+            40.0 + 1000 * 350.0, rel=0.05
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            make_pipeline(hit_cycles=0)
+        with pytest.raises(ConfigurationError):
+            make_pipeline(queue_capacity=0)
+
+
+class TestBackpressure:
+    def test_tiny_queue_stalls(self):
+        trace = np.ones(500, dtype=bool)
+        tight = make_pipeline(queue_capacity=1).run(trace)
+        roomy = make_pipeline(queue_capacity=512).run(trace)
+        assert tight.stall_cycles > 0
+        assert roomy.throughput_items_per_ms >= (
+            tight.throughput_items_per_ms
+        )
+
+    def test_bursty_trace_queues_deeper_than_uniform(self):
+        burst = np.concatenate(
+            [np.ones(50, dtype=bool), np.zeros(450, dtype=bool)] * 4
+        )
+        uniform = np.zeros(2000, dtype=bool)
+        uniform[::10] = True
+        pipeline = make_pipeline(queue_capacity=256)
+        assert (
+            pipeline.run(burst).max_queue_depth
+            > pipeline.run(uniform).max_queue_depth
+        )
+
+    def test_queue_depth_bounded_by_capacity(self):
+        result = make_pipeline(queue_capacity=8).run(
+            np.ones(300, dtype=bool)
+        )
+        assert result.max_queue_depth <= 8
+
+
+class TestAgainstAnalyticModel:
+    def test_converges_to_analytic_with_roomy_queue(self):
+        """On a real ASketch trace, the event-driven finish time matches
+        the analytic slowest-stage bound within a few percent."""
+        stream = zipf_stream(40_000, 10_000, 1.5, seed=121)
+        asketch = ASketch(total_bytes=64 * 1024, filter_items=32, seed=5)
+        asketch.record_misses()
+        asketch.process_stream(stream.keys)
+        trace = asketch.miss_trace()
+        assert trace.shape[0] == len(stream)
+        assert int(trace.sum()) == asketch.miss_events
+
+        hit, miss, sketch = 30.0, 40.0, 350.0
+        result = make_pipeline(
+            hit_cycles=hit, miss_cycles=miss, sketch_cycles=sketch,
+            queue_capacity=100_000,
+        ).run(trace)
+        hits = len(stream) - int(trace.sum())
+        stage0 = hits * hit + int(trace.sum()) * miss
+        stage1 = int(trace.sum()) * sketch
+        analytic_bound = max(stage0, stage1)
+        assert result.total_cycles >= analytic_bound * 0.999
+        assert result.total_cycles <= analytic_bound * 1.10
+
+    def test_throughput_uses_cost_model_clock(self):
+        model = CostModel(clock_hz=1.0e9)
+        result = EventDrivenPipeline(
+            model, hit_cycles=10.0, miss_cycles=10.0, sketch_cycles=10.0
+        ).run(np.zeros(1000, dtype=bool))
+        # 10 cycles per item at 1 GHz -> 100K items/ms.
+        assert result.throughput_items_per_ms == pytest.approx(100_000)
+
+
+class TestMissTraceRecording:
+    def test_trace_matches_miss_events(self, skewed_stream):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8, seed=6)
+        asketch.record_misses()
+        asketch.process_stream(skewed_stream.keys[:5000])
+        trace = asketch.miss_trace()
+        assert trace.shape[0] == 5000
+        assert int(trace.sum()) == asketch.miss_events
+
+    def test_trace_requires_opt_in(self):
+        asketch = ASketch(total_bytes=32 * 1024)
+        with pytest.raises(ConfigurationError):
+            asketch.miss_trace()
+
+    def test_trace_can_be_disabled(self):
+        asketch = ASketch(total_bytes=32 * 1024)
+        asketch.record_misses()
+        asketch.update(1)
+        asketch.record_misses(False)
+        with pytest.raises(ConfigurationError):
+            asketch.miss_trace()

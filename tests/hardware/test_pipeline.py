@@ -1,0 +1,91 @@
+"""Tests for the two-core pipeline model (§6.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.costs import CostModel, OpCounters
+from repro.hardware.pipeline import PipelineSimulator
+
+
+def filter_heavy_ops(n: int) -> OpCounters:
+    return OpCounters(
+        items=n, filter_probes=n, filter_probe_blocks=2 * n, filter_hits=n
+    )
+
+
+def sketch_ops(misses: int) -> OpCounters:
+    return OpCounters(hash_evals=8 * misses, sketch_cell_writes=8 * misses)
+
+
+class TestPipeline:
+    def test_zero_items(self):
+        simulator = PipelineSimulator()
+        result = simulator.run(
+            OpCounters(), OpCounters(), 0, 0, 0, 128 * 1024
+        )
+        assert result.throughput_items_per_ms == 0.0
+
+    def test_throughput_bounded_by_slowest_stage(self):
+        simulator = PipelineSimulator()
+        model = simulator.cost_model
+        n, misses = 100_000, 20_000
+        result = simulator.run(
+            filter_heavy_ops(n), sketch_ops(misses), n, misses, 0,
+            128 * 1024,
+        )
+        stage_bound = model.clock_hz / max(
+            result.stage0_cycles_per_item, result.stage1_cycles_per_item
+        ) / 1000.0
+        assert result.throughput_items_per_ms == pytest.approx(stage_bound)
+
+    def test_speedup_vs_sequential_in_midband(self):
+        """When both stages carry real work, the pipeline roughly doubles
+        throughput — the Figure 12 sweet spot."""
+        simulator = PipelineSimulator()
+        n, misses = 100_000, 20_000
+        result = simulator.run(
+            filter_heavy_ops(n), sketch_ops(misses), n, misses, 100,
+            128 * 1024,
+        )
+        assert result.speedup > 1.2
+
+    def test_no_gain_when_sketch_idles(self):
+        """At extreme skew nothing overflows; the pipeline degenerates to
+        the filter stage plus messaging overhead."""
+        simulator = PipelineSimulator()
+        n = 100_000
+        result = simulator.run(
+            filter_heavy_ops(n), OpCounters(), n, 0, 0, 128 * 1024
+        )
+        assert result.bottleneck == "filter"
+        assert result.speedup < 1.5
+
+    def test_messages_charged_on_both_stages(self):
+        simulator = PipelineSimulator()
+        n = 10_000
+        with_messages = simulator.run(
+            filter_heavy_ops(n), sketch_ops(n // 5), n, n // 5, 0,
+            128 * 1024,
+        )
+        without_messages = simulator.run(
+            filter_heavy_ops(n), sketch_ops(n // 5), n, 0, 0, 128 * 1024
+        )
+        assert (
+            with_messages.stage0_cycles_per_item
+            > without_messages.stage0_cycles_per_item
+        )
+
+    def test_custom_cost_model_respected(self):
+        slow = CostModel(clock_hz=1.0e9)
+        fast = CostModel(clock_hz=4.0e9)
+        n, misses = 10_000, 2_000
+        slow_result = PipelineSimulator(slow).run(
+            filter_heavy_ops(n), sketch_ops(misses), n, misses, 0, 65536
+        )
+        fast_result = PipelineSimulator(fast).run(
+            filter_heavy_ops(n), sketch_ops(misses), n, misses, 0, 65536
+        )
+        assert fast_result.throughput_items_per_ms == pytest.approx(
+            4 * slow_result.throughput_items_per_ms
+        )

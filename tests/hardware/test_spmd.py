@@ -1,0 +1,53 @@
+"""Tests for the SPMD scaling model (§6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.costs import OpCounters
+from repro.hardware.spmd import SpmdModel
+
+
+def kernel_ops(n: int) -> OpCounters:
+    return OpCounters(items=n, hash_evals=8 * n, sketch_cell_writes=8 * n)
+
+
+class TestSpmd:
+    def test_one_core_is_single_kernel(self):
+        model = SpmdModel()
+        result = model.run(kernel_ops(10_000), 128 * 1024, 1)
+        assert result.aggregate_items_per_ms == pytest.approx(
+            result.single_core_items_per_ms
+        )
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_near_linear_scaling(self):
+        """Figure 13: linear scalability clearly visible."""
+        model = SpmdModel()
+        results = model.sweep(kernel_ops(10_000), 128 * 1024, [1, 2, 4, 8, 16, 32])
+        for result in results:
+            assert result.efficiency > 0.8
+        assert results[-1].aggregate_items_per_ms > (
+            25 * results[0].aggregate_items_per_ms
+        )
+
+    def test_contention_monotone(self):
+        model = SpmdModel(contention_per_core=0.02)
+        results = model.sweep(kernel_ops(1000), 65536, [1, 8, 32])
+        efficiencies = [r.efficiency for r in results]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_clock_is_sandy_bridge(self):
+        assert SpmdModel().cost_model.clock_hz == pytest.approx(2.40e9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SpmdModel(contention_per_core=-0.1)
+        with pytest.raises(ConfigurationError):
+            SpmdModel().run(kernel_ops(10), 1024, 0)
+
+    def test_zero_contention_perfectly_linear(self):
+        model = SpmdModel(contention_per_core=0.0)
+        result = model.run(kernel_ops(1000), 65536, 16)
+        assert result.efficiency == pytest.approx(1.0)

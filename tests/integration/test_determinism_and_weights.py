@@ -1,0 +1,94 @@
+"""Determinism and weighted-update integration coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.counters.exact import ExactCounter
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.streams.zipf import zipf_stream
+
+
+class TestDeterminism:
+    """Reproducibility of the reproduction: same seed, same numbers."""
+
+    def test_experiment_reruns_identically(self):
+        config = ExperimentConfig(scale=0.05, runs=1, seed=9)
+        first = run_experiment("table5", config)
+        second = run_experiment("table5", config)
+        assert first.rows == second.rows
+
+    def test_asketch_run_identical_across_instances(self, skewed_stream):
+        runs = []
+        for _ in range(2):
+            asketch = ASketch(total_bytes=64 * 1024, filter_items=16,
+                              seed=20)
+            asketch.process_stream(skewed_stream.keys)
+            runs.append(
+                (
+                    asketch.exchange_count,
+                    asketch.overflow_mass,
+                    sorted(asketch.top_k(16)),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_sketch_state(self, skewed_stream):
+        first = ASketch(total_bytes=64 * 1024, seed=1)
+        second = ASketch(total_bytes=64 * 1024, seed=2)
+        first.process_stream(skewed_stream.keys[:5000])
+        second.process_stream(skewed_stream.keys[:5000])
+        assert not np.array_equal(first.sketch.table, second.sketch.table)
+
+
+class TestWeightedUpdates:
+    """The paper's (k, u) tuples with u > 1 (§3 footnote 3)."""
+
+    def test_weighted_one_sided(self, rng):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8, seed=21)
+        exact = ExactCounter()
+        for _ in range(3000):
+            key = int(rng.integers(0, 100))
+            amount = int(rng.integers(1, 20))
+            asketch.update(key, amount)
+            exact.update(key, amount)
+        for key, count in exact.items():
+            assert asketch.query(key) >= count
+
+    def test_weighted_mass_accounting(self, rng):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8, seed=22)
+        total = 0
+        for _ in range(2000):
+            amount = int(rng.integers(1, 10))
+            asketch.update(int(rng.integers(0, 500)), amount)
+            total += amount
+        assert asketch.total_mass == total
+        resident = sum(
+            entry.resident_count for entry in asketch.filter.entries()
+        )
+        assert resident + asketch.sketch.total_count() == total
+
+    def test_weighted_equivalent_to_repeated_units_for_filter_items(self):
+        """For a filter-resident key, one +u equals u unit updates."""
+        weighted = ASketch(total_bytes=32 * 1024, filter_items=4, seed=23)
+        unit = ASketch(total_bytes=32 * 1024, filter_items=4, seed=23)
+        weighted.update(7, 50)
+        for _ in range(50):
+            unit.update(7)
+        assert weighted.query(7) == unit.query(7) == 50
+
+
+class TestProcessVsUpdateEquivalence:
+    def test_identical_state_transitions(self, skewed_stream):
+        via_update = ASketch(total_bytes=32 * 1024, filter_items=8, seed=24)
+        via_process = ASketch(total_bytes=32 * 1024, filter_items=8, seed=24)
+        for key in skewed_stream.keys[:5000].tolist():
+            via_update.update(key)
+            via_process.process(key)
+        assert np.array_equal(
+            via_update.sketch.table, via_process.sketch.table
+        )
+        assert sorted(via_update.top_k(8)) == sorted(via_process.top_k(8))
+        assert via_update.exchange_count == via_process.exchange_count

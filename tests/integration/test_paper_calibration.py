@@ -1,0 +1,94 @@
+"""Regression pins: the modeled numbers stay near the paper's Table 1.
+
+These tests freeze the reproduction's headline calibration so that
+future changes to the cost model or the data structures cannot silently
+drift away from the paper.  Bands are deliberately loose (the paper's
+own numbers carry run-to-run noise) but tight enough to catch a broken
+constant or an uncharged operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+#: Paper Table 1 (Zipf 1.5, 128KB, filter 32).
+PAPER_UPDATES_PER_MS = {
+    "Count-Min": 6481,
+    "FCM": 6165,
+    "Holistic UDAFs": 17508,
+    "ASketch": 26739,
+}
+PAPER_QUERIES_PER_MS = {
+    "Count-Min": 6892,
+    "FCM": 7551,
+    "Holistic UDAFs": 6319,
+    "ASketch": 30795,
+}
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    config = ExperimentConfig(scale=0.1, seed=0)
+    result = run_experiment("table1", config)
+    return {row["method"]: row for row in result.rows}
+
+
+class TestThroughputCalibration:
+    def test_count_min_anchor_within_5_percent(self, table1_rows):
+        """The calibration anchor itself."""
+        modeled = table1_rows["Count-Min"]["updates/ms (modeled)"]
+        assert modeled == pytest.approx(
+            PAPER_UPDATES_PER_MS["Count-Min"], rel=0.05
+        )
+
+    @pytest.mark.parametrize(
+        "method,band",
+        [("ASketch", (3.0, 6.5)), ("Holistic UDAFs", (2.0, 3.6)),
+         ("FCM", (0.85, 1.25))],
+    )
+    def test_update_ratio_vs_count_min(self, table1_rows, method, band):
+        """Relative update speed vs Count-Min stays in the paper's band
+        (paper ratios: ASketch 4.1x, H-UDAF 2.7x, FCM 0.95x)."""
+        ratio = (
+            table1_rows[method]["updates/ms (modeled)"]
+            / table1_rows["Count-Min"]["updates/ms (modeled)"]
+        )
+        low, high = band
+        assert low <= ratio <= high, ratio
+
+    def test_asketch_query_ratio(self, table1_rows):
+        """Paper: ASketch answers queries ~4.5x faster than Count-Min."""
+        ratio = (
+            table1_rows["ASketch"]["queries/ms (modeled)"]
+            / table1_rows["Count-Min"]["queries/ms (modeled)"]
+        )
+        assert 3.0 <= ratio <= 7.0
+
+    def test_hudaf_queries_sketch_bound(self, table1_rows):
+        """Paper: H-UDAF queries no faster than Count-Min's (6319 vs
+        6892) — the aggregation table cannot answer queries."""
+        assert (
+            table1_rows["Holistic UDAFs"]["queries/ms (modeled)"]
+            <= table1_rows["Count-Min"]["queries/ms (modeled)"] * 1.05
+        )
+
+
+class TestAccuracyCalibration:
+    def test_error_ordering_matches_paper(self, table1_rows):
+        """Paper ordering: ASketch < FCM < Count-Min ~ H-UDAF."""
+        errors = {
+            method: row["observed error (%)"]
+            for method, row in table1_rows.items()
+        }
+        assert errors["ASketch"] <= errors["FCM"]
+        assert errors["FCM"] <= errors["Count-Min"]
+
+    def test_asketch_improvement_factor(self, table1_rows):
+        """Paper: 6x better than Count-Min in Table 1; allow 2x-100x at
+        reduced scale."""
+        cms = table1_rows["Count-Min"]["observed error (%)"]
+        asketch = table1_rows["ASketch"]["observed error (%)"]
+        if asketch > 0:
+            assert 2.0 <= cms / asketch <= 200.0

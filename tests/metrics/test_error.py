@@ -1,0 +1,62 @@
+"""Tests for the §7.1 error metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.error import (
+    average_relative_error,
+    observed_error,
+    observed_error_percent,
+)
+
+
+class TestObservedError:
+    def test_perfect_estimates(self):
+        assert observed_error([5, 10], [5, 10]) == 0.0
+
+    def test_definition(self):
+        # sum|est-true| / sum true = (1 + 2) / (10 + 20)
+        assert observed_error([11, 22], [10, 20]) == pytest.approx(0.1)
+
+    def test_percent_scaling(self):
+        assert observed_error_percent([11, 22], [10, 20]) == pytest.approx(10)
+
+    def test_absolute_value_used(self):
+        assert observed_error([9], [10]) == pytest.approx(0.1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            observed_error([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            observed_error([], [])
+
+    def test_zero_truth_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            observed_error([5], [0])
+
+
+class TestAverageRelativeError:
+    def test_definition(self):
+        # mean of (1/10, 5/20)
+        assert average_relative_error([11, 25], [10, 20]) == (
+            pytest.approx((0.1 + 0.25) / 2)
+        )
+
+    def test_biased_toward_low_frequency(self):
+        """The paper's remark: the same absolute error weighs more on a
+        low-count item."""
+        heavy = average_relative_error([1010], [1000])
+        light = average_relative_error([11], [1])
+        assert light > heavy
+
+    def test_zero_truth_queries_excluded(self):
+        value = average_relative_error([5, 11], [0, 10])
+        assert value == pytest.approx(0.1)
+
+    def test_all_zero_truth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_relative_error([5], [0])

@@ -1,0 +1,34 @@
+"""Tests for precision-at-k."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.precision import precision_at_k
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 2, 9, 8], [1, 2, 3, 4]) == 0.5
+
+    def test_accepts_pairs(self):
+        reported = [(1, 100), (2, 50)]
+        truth = [(1, 100), (9, 60)]
+        assert precision_at_k(reported, truth) == 0.5
+
+    def test_mixed_forms(self):
+        assert precision_at_k([(1, 10), (2, 5)], [1, 2]) == 1.0
+
+    def test_explicit_k_truncates(self):
+        assert precision_at_k([1, 9, 9, 9], [1], k=1) == 1.0
+
+    def test_empty_reported(self):
+        assert precision_at_k([], [1, 2]) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            precision_at_k([1], [1], k=0)

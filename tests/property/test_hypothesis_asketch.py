@@ -1,0 +1,173 @@
+"""Property-based tests for ASketch end-to-end invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asketch import ASketch
+from repro.counters.exact import ExactCounter
+from repro.sketches.count_min import CountMinSketch
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=500
+)
+filter_kinds = st.sampled_from(
+    ["vector", "strict-heap", "relaxed-heap", "stream-summary"]
+)
+seeds = st.integers(min_value=0, max_value=30)
+
+
+def build(seed: int, kind: str, filter_items: int = 4) -> ASketch:
+    sketch = CountMinSketch(num_hashes=3, row_width=19, seed=seed)
+    return ASketch(sketch=sketch, filter_items=filter_items, filter_kind=kind)
+
+
+class TestOneSidedGuarantee:
+    @given(keys=keys_strategy, kind=filter_kinds, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_never_underestimates(self, keys, kind, seed):
+        """The paper's central invariant, under heavy collision pressure
+        (width-19 sketch) and every filter implementation."""
+        asketch = build(seed, kind)
+        truth = Counter()
+        for key in keys:
+            asketch.update(key)
+            truth[key] += 1
+        for key, count in truth.items():
+            assert asketch.query(key) >= count
+
+    @given(
+        keys=keys_strategy,
+        kind=filter_kinds,
+        seed=seeds,
+        delete_every=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_sided_with_deletions(self, keys, kind, seed, delete_every):
+        """Appendix A deletions preserve the guarantee in any interleaving
+        that respects the strict turnstile model."""
+        asketch = build(seed, kind)
+        exact = ExactCounter()
+        for index, key in enumerate(keys):
+            asketch.update(key)
+            exact.update(key)
+            if index % delete_every == 0 and exact.count_of(key) > 0:
+                asketch.remove(key, 1)
+                exact.update(key, -1)
+        for key, count in exact.items():
+            assert asketch.query(key) >= count
+
+
+class TestMassConservation:
+    @given(keys=keys_strategy, kind=filter_kinds, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_plus_sketch_cover_stream(self, keys, kind, seed):
+        """Every stream count is represented exactly once: resident mass
+        in the filter plus mass hashed into the sketch equals N."""
+        asketch = build(seed, kind)
+        for key in keys:
+            asketch.update(key)
+        resident = sum(
+            entry.resident_count for entry in asketch.filter.entries()
+        )
+        sketch_mass = int(asketch.sketch.table[0].sum())
+        assert resident + sketch_mass == len(keys)
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_insertions_bounded(self, keys, seed):
+        """Lemma 1 under arbitrary inputs: per-key sketch insertions never
+        exceed the key's occurrence count."""
+        from tests.core.test_asketch import DictSketch
+
+        asketch = ASketch(sketch=DictSketch(), filter_items=4)
+        for key in keys:
+            asketch.update(key)
+        occurrences = Counter(keys)
+        insertions = Counter(k for k, _ in asketch.sketch.update_log)
+        for key, count in insertions.items():
+            assert count <= occurrences[key]
+
+
+class TestMergeProperties:
+    @given(
+        left_keys=keys_strategy,
+        right_keys=keys_strategy,
+        kind=filter_kinds,
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_one_sided(self, left_keys, right_keys, kind, seed):
+        """Merged ASketch over-estimates the concatenated streams."""
+        left = ASketch(
+            sketch=CountMinSketch(num_hashes=3, row_width=19, seed=seed),
+            filter_items=4,
+            filter_kind=kind,
+        )
+        right = ASketch(
+            sketch=CountMinSketch(num_hashes=3, row_width=19, seed=seed),
+            filter_items=4,
+            filter_kind=kind,
+        )
+        for key in left_keys:
+            left.update(key)
+        for key in right_keys:
+            right.update(key)
+        left.merge(right)
+        truth = Counter(left_keys) + Counter(right_keys)
+        for key, count in truth.items():
+            assert left.query(key) >= count
+
+    @given(left_keys=keys_strategy, right_keys=keys_strategy, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_conserves_mass(self, left_keys, right_keys, seed):
+        left = ASketch(
+            sketch=CountMinSketch(num_hashes=3, row_width=19, seed=seed),
+            filter_items=4,
+        )
+        right = ASketch(
+            sketch=CountMinSketch(num_hashes=3, row_width=19, seed=seed),
+            filter_items=4,
+        )
+        for key in left_keys:
+            left.update(key)
+        for key in right_keys:
+            right.update(key)
+        left.merge(right)
+        resident = sum(e.resident_count for e in left.filter.entries())
+        assert resident + left.sketch.total_count() == (
+            len(left_keys) + len(right_keys)
+        )
+
+
+class TestTopKSoundness:
+    @given(keys=keys_strategy, kind=filter_kinds, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_topk_counts_are_overestimates(self, keys, kind, seed):
+        asketch = build(seed, kind, filter_items=6)
+        truth = Counter()
+        for key in keys:
+            asketch.update(key)
+            truth[key] += 1
+        for key, reported in asketch.top_k(6):
+            assert reported >= truth[key]
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_query_matches_filter_or_sketch(self, keys, seed):
+        """Algorithm 2 dichotomy: a query answer comes verbatim from the
+        filter's new_count or the sketch's estimate."""
+        asketch = build(seed, "relaxed-heap")
+        for key in keys:
+            asketch.update(key)
+        for key in set(keys):
+            answer = asketch.query(key)
+            in_filter = asketch.filter.get_new_count(key)
+            if in_filter is not None:
+                assert answer == in_filter
+            else:
+                assert answer == asketch.sketch.estimate(key)

@@ -1,0 +1,92 @@
+"""Property-based tests for the extension features (window, group)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel_group import KernelGroup
+from repro.core.window import SlidingWindowASketch
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=80), min_size=1, max_size=400
+)
+
+
+class TestWindowProperties:
+    @given(
+        keys=keys_strategy,
+        window=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_window_one_sided_over_last_w(self, keys, window, seed):
+        """Estimates over-estimate exactly the last ``window`` tuples."""
+        synopsis = SlidingWindowASketch(
+            window, total_bytes=16 * 1024, filter_items=4, seed=seed
+        )
+        for key in keys:
+            synopsis.process(key)
+        truth = Counter(keys[-window:])
+        for key in set(keys):
+            assert synopsis.query(key) >= truth.get(key, 0)
+
+    @given(keys=keys_strategy, window=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_window_contents_are_last_w(self, keys, window):
+        synopsis = SlidingWindowASketch(window, total_bytes=16 * 1024)
+        for key in keys:
+            synopsis.process(key)
+        expected = keys[-window:]
+        assert synopsis.window_contents().tolist() == expected
+
+    @given(keys=keys_strategy, window=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conservation_after_full_drain(self, keys, window):
+        """Once every original tuple has expired, the synopsis holds
+        exactly the window's worth of mass (turnstile adds and removes
+        cancel exactly)."""
+        synopsis = SlidingWindowASketch(
+            window, total_bytes=16 * 1024, filter_items=4, seed=3
+        )
+        for key in keys:
+            synopsis.process(key)
+        sentinel = 10_000
+        for offset in range(window):
+            synopsis.process(sentinel + offset)
+        inner = synopsis.asketch
+        resident = sum(
+            entry.resident_count for entry in inner.filter.entries()
+        )
+        assert resident + inner.sketch.total_count() == window
+        # And every sentinel still answers at least 1.
+        for offset in range(window):
+            assert synopsis.query(sentinel + offset) >= 1
+
+
+class TestKernelGroupProperties:
+    @given(
+        chunks=st.lists(keys_strategy, min_size=1, max_size=4),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merged_queries_one_sided(self, chunks, seed):
+        group = KernelGroup(
+            len(chunks), total_bytes=16 * 1024, filter_items=4, seed=seed
+        )
+        truth: Counter = Counter()
+        for index, chunk in enumerate(chunks):
+            group.process_stream_on(index, np.array(chunk, dtype=np.int64))
+            truth.update(chunk)
+        for key, count in truth.items():
+            assert group.query(key) >= count
+
+    @given(keys=keys_strategy, kernels=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_conserves_mass(self, keys, kernels):
+        group = KernelGroup(kernels, total_bytes=16 * 1024, filter_items=4)
+        group.scatter_stream(np.array(keys, dtype=np.int64))
+        assert group.total_mass == len(keys)

@@ -1,0 +1,120 @@
+"""Property-based tests for the filter implementations (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters.factory import FILTER_KINDS, make_filter
+
+ALL_KINDS = sorted(FILTER_KINDS)
+
+#: A random ASketch-like driving sequence: (key, amount, estimate).
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=500),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+class ReferenceFilter:
+    """Trivially-correct dict model of the filter semantics."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.state: dict[int, tuple[int, int]] = {}
+
+    def add_if_present(self, key, amount):
+        if key in self.state:
+            new, old = self.state[key]
+            self.state[key] = (new + amount, old)
+            return True
+        return False
+
+    @property
+    def is_full(self):
+        return len(self.state) >= self.capacity
+
+    def insert(self, key, new, old):
+        self.state[key] = (new, old)
+
+    def min_new_count(self):
+        return min(new for new, _ in self.state.values())
+
+    def evict_a_min(self, key, new, old):
+        """Remove one minimum entry (any of the tied ones) and insert."""
+        minimum = self.min_new_count()
+        candidates = {
+            k for k, (n, _) in self.state.items() if n == minimum
+        }
+        self.state[key] = (new, old)
+        return candidates, minimum
+
+
+def drive(kind: str, capacity: int, ops) -> None:
+    """Run the same operation sequence on the real and model filters and
+    compare observable state after every step."""
+    real = make_filter(kind, capacity)
+    model = ReferenceFilter(capacity)
+    fresh = 1000
+    for key, amount, estimate in ops:
+        hit_real = real.add_if_present(key, amount)
+        hit_model = model.add_if_present(key, amount)
+        assert hit_real == hit_model
+        if not hit_real:
+            if not real.is_full:
+                assert not model.is_full
+                real.insert(key, amount, 0)
+                model.insert(key, amount, 0)
+            else:
+                assert real.min_new_count() == model.min_new_count()
+                if estimate > real.min_new_count():
+                    if key in model.state:
+                        # The real filter rejects double-monitoring; use
+                        # a fresh key to keep both sides in sync.
+                        key = fresh
+                        fresh += 1
+                    evicted = real.replace_min(key, estimate, estimate)
+                    candidates, minimum = model.evict_a_min(
+                        key, estimate, estimate
+                    )
+                    assert evicted.key in candidates
+                    assert evicted.new_count == minimum
+                    del model.state[evicted.key]
+        # Observable state must agree exactly.
+        assert len(real) == len(model.state)
+        real_state = {
+            e.key: (e.new_count, e.old_count) for e in real.entries()
+        }
+        assert real_state == model.state
+
+
+class TestFiltersAgainstModel:
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_vector(self, ops):
+        drive("vector", 6, ops)
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_strict_heap(self, ops):
+        drive("strict-heap", 6, ops)
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_relaxed_heap(self, ops):
+        drive("relaxed-heap", 6, ops)
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_stream_summary(self, ops):
+        drive("stream-summary", 6, ops)
+
+    @given(ops=operations, capacity=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_sweep_relaxed(self, ops, capacity):
+        drive("relaxed-heap", capacity, ops)

@@ -1,0 +1,89 @@
+"""Property-based tests for the hierarchical (dyadic) Count-Min."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.hierarchical import HierarchicalCountMin
+
+DOMAIN_BITS = 8  # 256 keys: small enough for brute-force comparison
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << DOMAIN_BITS) - 1),
+    min_size=1,
+    max_size=300,
+)
+seeds = st.integers(min_value=0, max_value=30)
+
+
+def build(keys: list[int], seed: int) -> HierarchicalCountMin:
+    hierarchy = HierarchicalCountMin(
+        DOMAIN_BITS, total_bytes=32 * 1024, num_hashes=3, seed=seed
+    )
+    hierarchy.update_batch(np.array(keys, dtype=np.int64))
+    return hierarchy
+
+
+class TestRangeProperties:
+    @given(
+        keys=keys_strategy,
+        seed=seeds,
+        bounds=st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=255),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_one_sided_vs_brute_force(self, keys, seed, bounds):
+        low, high = min(bounds), max(bounds)
+        hierarchy = build(keys, seed)
+        truth = Counter(keys)
+        true_range = sum(
+            count for key, count in truth.items() if low <= key <= high
+        )
+        assert hierarchy.range_count(low, high) >= true_range
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_full_domain_range_covers_total(self, keys, seed):
+        hierarchy = build(keys, seed)
+        assert hierarchy.range_count(0, 255) >= len(keys)
+
+    @given(
+        keys=keys_strategy,
+        seed=seeds,
+        split=st.integers(min_value=0, max_value=254),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjacent_ranges_cover_union(self, keys, seed, split):
+        """[0,s] + [s+1,255] is a one-sided estimate of the whole."""
+        hierarchy = build(keys, seed)
+        left = hierarchy.range_count(0, split)
+        right = hierarchy.range_count(split + 1, 255)
+        assert left + right >= len(keys)
+
+
+class TestHeavyHitterProperties:
+    @given(keys=keys_strategy, seed=seeds,
+           threshold=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_complete_recall(self, keys, seed, threshold):
+        """No key at/above the threshold is ever missed."""
+        hierarchy = build(keys, seed)
+        reported = {key for key, _ in hierarchy.heavy_hitters(threshold)}
+        truth = Counter(keys)
+        for key, count in truth.items():
+            if count >= threshold:
+                assert key in reported
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_point_estimates_one_sided(self, keys, seed):
+        hierarchy = build(keys, seed)
+        truth = Counter(keys)
+        for key, count in truth.items():
+            assert hierarchy.estimate(key) >= count

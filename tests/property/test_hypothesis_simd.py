@@ -1,0 +1,50 @@
+"""Property-based equivalence of the three find-index kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd.engine import (
+    numpy_find_index,
+    scalar_find_index,
+    simd_find_index,
+)
+
+id_arrays = st.lists(
+    st.integers(min_value=1, max_value=1000), min_size=1, max_size=64
+)
+
+
+class TestKernelEquivalence:
+    @given(ids=id_arrays, probe=st.integers(min_value=1, max_value=1100))
+    @settings(max_examples=150, deadline=None)
+    def test_three_way_agreement(self, ids, probe):
+        array = np.array(ids, dtype=np.int32)
+        expected = scalar_find_index(array, probe)
+        assert numpy_find_index(array, probe) == expected
+        assert simd_find_index(array, probe) == expected
+
+    @given(ids=id_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_every_present_id_found(self, ids):
+        array = np.array(ids, dtype=np.int32)
+        for index, value in enumerate(ids):
+            found = simd_find_index(array, value)
+            assert found <= index
+            assert array[found] == value
+
+    @given(
+        ids=st.lists(
+            st.integers(min_value=1, max_value=30), min_size=1, max_size=48
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_first_occurrence_semantics(self, ids):
+        """All kernels return the first match for duplicated ids."""
+        array = np.array(ids, dtype=np.int32)
+        for value in set(ids):
+            expected = ids.index(value)
+            assert simd_find_index(array, value) == expected
+            assert numpy_find_index(array, value) == expected

@@ -1,0 +1,141 @@
+"""Property-based tests for the sketch synopses (hypothesis)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.exact import ExactCounter
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.fcm import FrequencyAwareCountMin
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=500), min_size=1, max_size=300
+)
+seeds = st.integers(min_value=0, max_value=50)
+
+
+class TestCountMinProperties:
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_one_sided_overestimate(self, keys, seed):
+        sketch = CountMinSketch(num_hashes=3, row_width=37, seed=seed)
+        truth = Counter()
+        for key in keys:
+            sketch.update(key)
+            truth[key] += 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_total_mass_conserved_per_row(self, keys, seed):
+        sketch = CountMinSketch(num_hashes=4, row_width=53, seed=seed)
+        sketch.update_batch(np.array(keys))
+        for row in range(4):
+            assert int(sketch.table[row].sum()) == len(keys)
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_scalar(self, keys, seed):
+        batched = CountMinSketch(num_hashes=3, row_width=41, seed=seed)
+        batched.update_batch(np.array(keys))
+        looped = CountMinSketch(num_hashes=3, row_width=41, seed=seed)
+        for key in keys:
+            looped.update(key)
+        np.testing.assert_array_equal(batched.table, looped.table)
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_conservative_between_truth_and_classic(self, keys, seed):
+        classic = CountMinSketch(num_hashes=3, row_width=29, seed=seed)
+        conservative = CountMinSketch(
+            num_hashes=3, row_width=29, seed=seed, conservative=True
+        )
+        truth = Counter()
+        for key in keys:
+            classic.update(key)
+            conservative.update(key)
+            truth[key] += 1
+        for key, count in truth.items():
+            assert count <= conservative.estimate(key) <= classic.estimate(key)
+
+    @given(
+        keys=keys_strategy,
+        deletions=st.lists(
+            st.integers(min_value=0, max_value=500), max_size=50
+        ),
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_turnstile_still_one_sided(self, keys, deletions, seed):
+        """Deleting only previously-inserted mass keeps the guarantee."""
+        sketch = CountMinSketch(num_hashes=3, row_width=37, seed=seed)
+        exact = ExactCounter()
+        for key in keys:
+            sketch.update(key)
+            exact.update(key)
+        for key in deletions:
+            if exact.count_of(key) > 0:
+                sketch.update(key, -1)
+                exact.update(key, -1)
+        for key, count in exact.items():
+            assert sketch.estimate(key) >= count
+
+
+class TestFcmProperties:
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_one_sided_overestimate(self, keys, seed):
+        fcm = FrequencyAwareCountMin(
+            num_hashes=8, row_width=43, mg_capacity=4, seed=seed
+        )
+        truth = Counter()
+        for key in keys:
+            fcm.update(key)
+            truth[key] += 1
+        for key, count in truth.items():
+            assert fcm.estimate(key) >= count
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_mg_free_variant_one_sided(self, keys, seed):
+        fcm = FrequencyAwareCountMin(
+            num_hashes=8, row_width=43, use_mg_counter=False, seed=seed
+        )
+        truth = Counter()
+        for key in keys:
+            fcm.update(key)
+            truth[key] += 1
+        for key, count in truth.items():
+            assert fcm.estimate(key) >= count
+
+
+class TestCountSketchProperties:
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_insert_delete_cancels(self, keys, seed):
+        sketch = CountSketch(num_hashes=3, row_width=31, seed=seed)
+        for key in keys:
+            sketch.update(key)
+        for key in keys:
+            sketch.update(key, -1)
+        assert not sketch._table.any()
+
+    @given(keys=keys_strategy, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_row_sums_match_signed_mass(self, keys, seed):
+        """Each row's sum equals the sum of signs of inserted items."""
+        sketch = CountSketch(num_hashes=3, row_width=31, seed=seed)
+        sketch.update_batch(np.array(keys))
+        from repro.hashing.families import key_to_int
+
+        for row in range(3):
+            signed = sum(
+                sketch._signs[row](key_to_int(key)) for key in keys
+            )
+            assert int(sketch._table[row].sum()) == signed

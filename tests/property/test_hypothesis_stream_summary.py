@@ -1,0 +1,71 @@
+"""Property-based tests for Stream-Summary against a dict model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters.stream_summary import StreamSummary
+
+#: (op, key, amount) with op in {hit, insert-or-evict, remove}.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["touch", "remove"]),
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=1, max_value=4),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestAgainstModel:
+    @given(ops=operations, capacity=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_and_min_match_model(self, ops, capacity):
+        summary = StreamSummary(capacity)
+        model: dict[int, int] = {}
+        for op, key, amount in ops:
+            if op == "touch":
+                if key in model:
+                    summary.increment(key, amount)
+                    model[key] += amount
+                elif len(model) < capacity:
+                    summary.insert(key, amount)
+                    model[key] = amount
+                else:
+                    evicted_key, evicted_count, _ = summary.evict_min()
+                    assert model.pop(evicted_key) == evicted_count
+                    assert evicted_count == min(
+                        list(model.values()) + [evicted_count]
+                    )
+                    summary.insert(key, amount)
+                    model[key] = amount
+            else:  # remove
+                if key in model:
+                    count, _ = summary.remove(key)
+                    assert count == model.pop(key)
+            assert len(summary) == len(model)
+            if model:
+                assert summary.min_count == min(model.values())
+                _, observed_min, _ = summary.min_item()
+                assert observed_min == min(model.values())
+            for key_, count_ in model.items():
+                assert summary.count_of(key_) == count_
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_items_always_ascending(self, ops):
+        summary = StreamSummary(8)
+        model: dict[int, int] = {}
+        for op, key, amount in ops:
+            if op == "remove":
+                continue
+            if key in model:
+                summary.increment(key, amount)
+                model[key] += amount
+            elif len(model) < 8:
+                summary.insert(key, amount)
+                model[key] = amount
+            counts = [count for _, count, _ in summary.items()]
+            assert counts == sorted(counts)

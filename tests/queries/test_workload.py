@@ -1,0 +1,55 @@
+"""Tests for the query-workload samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queries.workload import (
+    frequency_weighted_queries,
+    uniform_domain_queries,
+)
+from repro.streams.zipf import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(50_000, 5_000, 1.5, seed=9)
+
+
+class TestFrequencyWeighted:
+    def test_queries_come_from_stream(self, stream):
+        queries = frequency_weighted_queries(stream, 5000, seed=1)
+        present = set(stream.keys.tolist())
+        assert all(int(q) in present for q in queries)
+
+    def test_heavy_items_queried_more(self, stream):
+        queries = frequency_weighted_queries(stream, 20_000, seed=2)
+        top_key = stream.true_top_k(1)[0][0]
+        top_share = float((queries == top_key).mean())
+        true_share = stream.exact.count_of(top_key) / len(stream)
+        assert top_share == pytest.approx(true_share, rel=0.2)
+
+    def test_deterministic(self, stream):
+        first = frequency_weighted_queries(stream, 100, seed=3)
+        second = frequency_weighted_queries(stream, 100, seed=3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_zero_queries_rejected(self, stream):
+        with pytest.raises(ConfigurationError):
+            frequency_weighted_queries(stream, 0)
+
+
+class TestUniformDomain:
+    def test_covers_tail(self, stream):
+        """Uniform-domain sampling must not be frequency biased."""
+        queries = uniform_domain_queries(stream, 20_000, seed=4)
+        top_key = stream.true_top_k(1)[0][0]
+        top_share = float((queries == top_key).mean())
+        assert top_share < 0.01  # ~1/distinct, far below its mass share
+
+    def test_all_queries_are_real_keys(self, stream):
+        queries = uniform_domain_queries(stream, 1000, seed=5)
+        for query in queries.tolist():
+            assert stream.exact.count_of(int(query)) > 0

@@ -1,0 +1,112 @@
+"""Tests for the streaming engine and its consumers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError
+from repro.runtime.engine import StreamEngine, ThresholdAlert, TopKBoard
+from repro.streams.zipf import zipf_stream
+
+
+@pytest.fixture()
+def asketch():
+    return ASketch(total_bytes=64 * 1024, filter_items=32, seed=12)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(40_000, 10_000, 1.5, seed=151)
+
+
+class TestEngine:
+    def test_ingests_all_chunks(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        stats = engine.run(stream.chunks(5_000))
+        assert stats.tuples_ingested == len(stream)
+        assert stats.chunks_ingested == 8
+        assert asketch.total_mass == len(stream)
+        assert stats.wall_throughput_items_per_ms > 0
+
+    def test_consumer_fires_on_schedule(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        firings: list[int] = []
+        engine.every(10_000, firings.append, name="probe")
+        engine.run(stream.chunks(5_000))
+        assert firings == [10_000, 20_000, 30_000, 40_000]
+
+    def test_consumer_catches_up_on_large_chunks(self, asketch, stream):
+        """A chunk larger than the period fires the consumer repeatedly."""
+        engine = StreamEngine(asketch)
+        firings: list[int] = []
+        engine.every(8_000, firings.append)
+        engine.run([stream.keys])  # one 40K chunk
+        assert firings == [40_000] * 5
+        assert engine.stats.consumer_firings == 5
+
+    def test_invalid_period(self, asketch):
+        with pytest.raises(ConfigurationError):
+            StreamEngine(asketch).every(0, lambda _: None)
+
+    def test_works_with_plain_sketch(self, stream):
+        from repro.sketches.count_min import CountMinSketch
+
+        sketch = CountMinSketch(8, total_bytes=64 * 1024, seed=13)
+        engine = StreamEngine(sketch)
+        engine.run(stream.chunks(10_000))
+        assert sketch.ops.items == len(stream)
+
+
+class TestTopKBoard:
+    def test_snapshots_accumulate(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        board = TopKBoard(asketch, k=5)
+        engine.every(20_000, board)
+        engine.run(stream.chunks(5_000))
+        assert len(board.snapshots) == 2
+        positions = [position for position, _ in board.snapshots]
+        assert positions == [20_000, 40_000]
+        assert len(board.latest) == 5
+
+    def test_latest_matches_final_topk(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        board = TopKBoard(asketch, k=10)
+        engine.every(len(stream), board)
+        engine.run(stream.chunks(5_000))
+        assert board.latest == asketch.top_k(10)
+
+    def test_empty_board(self, asketch):
+        assert TopKBoard(asketch, k=3).latest == []
+
+    def test_invalid_k(self, asketch):
+        with pytest.raises(ConfigurationError):
+            TopKBoard(asketch, k=0)
+
+
+class TestThresholdAlert:
+    def test_alerts_once_per_key(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        threshold = int(0.01 * len(stream))
+        alert = ThresholdAlert(asketch, threshold)
+        engine.every(5_000, alert)
+        engine.run(stream.chunks(5_000))
+        keys = [key for _, key, _ in alert.alerts]
+        assert len(keys) == len(set(keys))  # no duplicate alerts
+        # Every true heavy key above the threshold eventually alerted.
+        for key, count in stream.exact.items():
+            if count >= threshold:
+                assert key in alert.alerted_keys
+
+    def test_alert_positions_monotone(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        alert = ThresholdAlert(asketch, int(0.005 * len(stream)))
+        engine.every(4_000, alert)
+        engine.run(stream.chunks(4_000))
+        positions = [position for position, _, _ in alert.alerts]
+        assert positions == sorted(positions)
+
+    def test_invalid_threshold(self, asketch):
+        with pytest.raises(ConfigurationError):
+            ThresholdAlert(asketch, 0)

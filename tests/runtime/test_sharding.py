@@ -1,0 +1,90 @@
+"""Tests for the hash-partitioned ASketch shards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.sharding import ShardedASketch
+from repro.streams.zipf import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(40_000, 10_000, 1.5, seed=161)
+
+
+@pytest.fixture()
+def sharded():
+    return ShardedASketch(4, total_bytes=32 * 1024, filter_items=16, seed=14)
+
+
+class TestRouting:
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedASketch(0, total_bytes=32 * 1024)
+
+    def test_ownership_deterministic(self, sharded):
+        for key in range(100):
+            assert sharded.shard_of(key) == sharded.shard_of(key)
+            assert 0 <= sharded.shard_of(key) < 4
+
+    def test_mass_partitioned_completely(self, sharded, stream):
+        sharded.process_stream(stream.keys)
+        assert sharded.total_mass == len(stream)
+        per_shard = [shard.total_mass for shard in sharded.shards]
+        assert all(mass > 0 for mass in per_shard)
+
+    def test_key_mass_on_owner_only(self, sharded, stream):
+        sharded.process_stream(stream.keys)
+        key = int(stream.true_top_k(1)[0][0])
+        owner = sharded.shard_of(key)
+        for index, shard in enumerate(sharded.shards):
+            estimate = shard.query(key)
+            if index == owner:
+                assert estimate > 0
+            else:
+                # Non-owners never saw the key; only collisions remain.
+                assert estimate < stream.exact.count_of(key)
+
+
+class TestQueries:
+    def test_one_sided(self, sharded, stream):
+        sharded.process_stream(stream.keys)
+        for key, count in stream.exact.top_k(300):
+            assert sharded.query(key) >= count
+
+    def test_chunked_equals_whole(self, stream):
+        whole = ShardedASketch(4, total_bytes=32 * 1024, seed=15)
+        whole.process_stream(stream.keys)
+        chunked = ShardedASketch(4, total_bytes=32 * 1024, seed=15)
+        for chunk in stream.chunks(4_000):
+            chunked.process_stream(chunk)
+        probe = stream.keys[:200]
+        assert whole.query_batch(probe) == chunked.query_batch(probe)
+
+    def test_global_topk(self, sharded, stream):
+        sharded.process_stream(stream.keys)
+        reported = {key for key, _ in sharded.top_k(10)}
+        truth = {key for key, _ in stream.true_top_k(10)}
+        assert len(reported & truth) >= 9
+
+    def test_heavy_hitters_global(self, sharded, stream):
+        sharded.process_stream(stream.keys)
+        threshold = int(0.01 * len(stream))
+        reported = {key for key, _ in sharded.heavy_hitters(threshold)}
+        for key, count in stream.exact.items():
+            if count >= threshold:
+                assert key in reported
+
+    def test_update_and_remove_route_consistently(self, sharded):
+        sharded.update(42, 10)
+        assert sharded.query(42) >= 10
+        sharded.remove(42, 4)
+        assert sharded.query(42) >= 6
+
+    def test_size_accounting(self, sharded):
+        assert sharded.size_bytes == sum(
+            shard.size_bytes for shard in sharded.shards
+        )

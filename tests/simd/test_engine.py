@@ -1,0 +1,84 @@
+"""Tests for the three find-index kernels and their equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simd.engine import (
+    ITEMS_PER_BLOCK,
+    numpy_find_index,
+    scalar_find_index,
+    simd_find_index,
+    simd_probe_blocks,
+)
+
+KERNELS = [simd_find_index, numpy_find_index, scalar_find_index]
+
+
+class TestProbeBlocks:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (16, 1), (17, 2), (32, 2), (33, 3)]
+    )
+    def test_ceil_division(self, n, expected):
+        assert simd_probe_blocks(n) == expected
+
+    def test_block_size_matches_paper_kernel(self):
+        assert ITEMS_PER_BLOCK == 16
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_finds_present_item(self, kernel):
+        ids = np.array([3, 9, 27, 81], dtype=np.int32)
+        assert kernel(ids, 27) == 2
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_absent_item_returns_minus_one(self, kernel):
+        ids = np.array([3, 9, 27, 81], dtype=np.int32)
+        assert kernel(ids, 5) == -1
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_first_position(self, kernel):
+        ids = np.arange(1, 33, dtype=np.int32)
+        assert kernel(ids, 1) == 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_last_position_multi_block(self, kernel):
+        ids = np.arange(1, 41, dtype=np.int32)  # 40 ids: 3 blocks
+        assert kernel(ids, 40) == 39
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_duplicate_returns_first(self, kernel):
+        ids = np.array([5, 7, 7, 7], dtype=np.int32)
+        assert kernel(ids, 7) == 1
+
+    def test_simd_ignores_tail_padding(self):
+        # Block is padded with zeros; searching for a real id must not be
+        # confused, and ids are always >= 1 by the key+1 convention.
+        ids = np.array([4, 5, 6], dtype=np.int32)
+        assert simd_find_index(ids, 6) == 2
+        assert simd_find_index(ids, 99) == -1
+
+
+class TestEquivalence:
+    def test_all_kernels_agree_randomised(self, rng):
+        for _ in range(50):
+            size = int(rng.integers(1, 70))
+            ids = rng.integers(1, 200, size=size).astype(np.int32)
+            probe = int(rng.integers(0, 220))
+            results = {kernel(ids, probe) for kernel in KERNELS}
+            assert len(results) == 1, (ids, probe, results)
+
+    def test_agree_on_filter_like_arrays(self, rng):
+        # 32-slot filter arrays with empty (0) slots interleaved.
+        for _ in range(30):
+            ids = np.zeros(32, dtype=np.int32)
+            occupied = rng.choice(32, size=20, replace=False)
+            ids[occupied] = rng.integers(1, 10_000, size=20)
+            target = int(ids[occupied[0]])
+            assert (
+                simd_find_index(ids, target)
+                == numpy_find_index(ids, target)
+                == scalar_find_index(ids, target)
+            )

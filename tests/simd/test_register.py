@@ -1,0 +1,109 @@
+"""Unit tests for the emulated SSE2 register and intrinsics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simd.register import (
+    M128,
+    builtin_ctz,
+    mm_cmpeq_epi32,
+    mm_movemask_epi8,
+    mm_packs_epi32,
+    mm_set1_epi32,
+)
+
+
+class TestM128:
+    def test_int32_roundtrip(self):
+        lanes = np.array([1, -2, 3, -4], dtype=np.int32)
+        register = M128.from_int32_lanes(lanes)
+        np.testing.assert_array_equal(register.as_int32_lanes(), lanes)
+
+    def test_int16_roundtrip(self):
+        lanes = np.array([1, -1, 2, -2, 3, -3, 4, -4], dtype=np.int16)
+        register = M128.from_int16_lanes(lanes)
+        np.testing.assert_array_equal(register.as_int16_lanes(), lanes)
+
+    def test_requires_four_int32_lanes(self):
+        with pytest.raises(ValueError):
+            M128.from_int32_lanes(np.array([1, 2, 3], dtype=np.int32))
+
+    def test_equality_and_hash(self):
+        a = M128.from_int32_lanes(np.array([1, 2, 3, 4], dtype=np.int32))
+        b = M128.from_int32_lanes(np.array([1, 2, 3, 4], dtype=np.int32))
+        c = M128.from_int32_lanes(np.array([1, 2, 3, 5], dtype=np.int32))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+
+class TestSet1:
+    def test_broadcasts_value(self):
+        register = mm_set1_epi32(7)
+        np.testing.assert_array_equal(
+            register.as_int32_lanes(), np.full(4, 7, dtype=np.int32)
+        )
+
+    def test_wraps_like_c_cast(self):
+        register = mm_set1_epi32(2**31)  # wraps to INT32_MIN
+        assert register.as_int32_lanes()[0] == -(2**31)
+
+
+class TestCmpeq:
+    def test_matching_lane_is_all_ones(self):
+        a = M128.from_int32_lanes(np.array([5, 6, 7, 8], dtype=np.int32))
+        b = mm_set1_epi32(7)
+        mask = mm_cmpeq_epi32(b, a).as_int32_lanes()
+        np.testing.assert_array_equal(mask, [0, 0, -1, 0])
+
+    def test_no_match_is_zero(self):
+        a = M128.from_int32_lanes(np.array([1, 2, 3, 4], dtype=np.int32))
+        mask = mm_cmpeq_epi32(mm_set1_epi32(9), a).as_int32_lanes()
+        np.testing.assert_array_equal(mask, [0, 0, 0, 0])
+
+
+class TestPacks:
+    def test_lane_order_low_then_high(self):
+        a = M128.from_int32_lanes(np.array([1, 2, 3, 4], dtype=np.int32))
+        b = M128.from_int32_lanes(np.array([5, 6, 7, 8], dtype=np.int32))
+        packed = mm_packs_epi32(a, b).as_int16_lanes()
+        np.testing.assert_array_equal(packed, [1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_signed_saturation(self):
+        a = M128.from_int32_lanes(
+            np.array([2**31 - 1, -(2**31), 0, -1], dtype=np.int32)
+        )
+        packed = mm_packs_epi32(a, a).as_int16_lanes()
+        assert packed[0] == 2**15 - 1
+        assert packed[1] == -(2**15)
+        assert packed[3] == -1
+
+    def test_all_ones_mask_survives_packing(self):
+        ones = M128.from_int32_lanes(np.full(4, -1, dtype=np.int32))
+        packed = mm_packs_epi32(ones, ones).as_int16_lanes()
+        np.testing.assert_array_equal(packed, np.full(8, -1, dtype=np.int16))
+
+
+class TestMovemaskAndCtz:
+    def test_movemask_gathers_sign_bits(self):
+        raw = np.zeros(16, dtype=np.uint8)
+        raw[0] = 0x80
+        raw[5] = 0xFF
+        raw[15] = 0x80
+        mask = mm_movemask_epi8(M128(raw))
+        assert mask == (1 << 0) | (1 << 5) | (1 << 15)
+
+    def test_movemask_zero(self):
+        assert mm_movemask_epi8(M128(np.zeros(16, dtype=np.uint8))) == 0
+
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 0), (2, 1), (8, 3), (0b101000, 3), (1 << 15, 15)]
+    )
+    def test_ctz(self, value, expected):
+        assert builtin_ctz(value) == expected
+
+    def test_ctz_zero_undefined(self):
+        with pytest.raises(ValueError):
+            builtin_ctz(0)

@@ -1,0 +1,73 @@
+"""Unit tests for Count Sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches.count_sketch import CountSketch
+
+
+class TestConstruction:
+    def test_sizing_arguments(self):
+        with pytest.raises(ConfigurationError):
+            CountSketch(8)
+        sketch = CountSketch(num_hashes=5, total_bytes=10 * 1024)
+        assert sketch.size_bytes <= 10 * 1024
+
+
+class TestEstimation:
+    def test_exact_when_sparse(self):
+        sketch = CountSketch(num_hashes=5, row_width=4096, seed=1)
+        for key in range(20):
+            for _ in range(key + 1):
+                sketch.update(key)
+        for key in range(20):
+            assert sketch.estimate(key) == key + 1
+
+    def test_unbiased_on_tail(self, skewed_stream):
+        """Count Sketch errors are two-sided and roughly centred on zero."""
+        sketch = CountSketch(num_hashes=5, total_bytes=16 * 1024, seed=2)
+        sketch.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        keys = [key for key, _ in exact.top_k(900)[400:900]]
+        errors = [sketch.estimate(k) - exact.count_of(k) for k in keys]
+        positive = sum(1 for e in errors if e > 0)
+        negative = sum(1 for e in errors if e < 0)
+        # Both signs occur (Count-Min would give only non-negative errors).
+        assert positive > 0 and negative > 0
+
+    def test_heavy_hitter_accuracy(self, skewed_stream):
+        sketch = CountSketch(num_hashes=5, total_bytes=64 * 1024, seed=3)
+        sketch.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        for key, true in exact.top_k(5):
+            estimate = sketch.estimate(key)
+            assert abs(estimate - true) <= max(10, 0.02 * true)
+
+    def test_batch_scalar_equivalence(self, uniform_keys):
+        batched = CountSketch(num_hashes=4, row_width=333, seed=4)
+        batched.update_batch(uniform_keys[:5000])
+        looped = CountSketch(num_hashes=4, row_width=333, seed=4)
+        for key in uniform_keys[:5000].tolist():
+            looped.update(key)
+        probe = uniform_keys[:50]
+        assert [batched.estimate(int(k)) for k in probe] == [
+            looped.estimate(int(k)) for k in probe
+        ]
+
+    def test_deletion_symmetry(self):
+        """Inserting then deleting returns the estimate to zero."""
+        sketch = CountSketch(num_hashes=5, row_width=256, seed=6)
+        sketch.update(7, 10)
+        sketch.update(7, -10)
+        assert sketch.estimate(7) == 0
+
+
+class TestOps:
+    def test_update_charges_two_hashes_per_row(self):
+        sketch = CountSketch(num_hashes=4, row_width=64)
+        sketch.update(1)
+        assert sketch.ops.hash_evals == 8
+        assert sketch.ops.sketch_cell_writes == 4

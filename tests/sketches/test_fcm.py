@@ -1,0 +1,162 @@
+"""Unit tests for Frequency-Aware Counting (FCM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.fcm import FrequencyAwareCountMin
+
+
+class TestConstruction:
+    def test_sizing_arguments(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyAwareCountMin(8)
+        with pytest.raises(ConfigurationError):
+            FrequencyAwareCountMin(8, 100, total_bytes=2048)
+
+    def test_mg_space_carved_from_budget(self):
+        with_mg = FrequencyAwareCountMin(
+            8, total_bytes=32 * 1024, mg_capacity=32
+        )
+        without_mg = FrequencyAwareCountMin(
+            8, total_bytes=32 * 1024, use_mg_counter=False
+        )
+        assert with_mg.row_width < without_mg.row_width
+        assert with_mg.size_bytes <= 32 * 1024
+        assert with_mg.size_bytes > 32 * 1024 - 8 * 4
+
+    def test_mg_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyAwareCountMin(8, total_bytes=256, mg_capacity=100)
+
+    def test_row_class_sizes(self):
+        fcm = FrequencyAwareCountMin(8, row_width=512)
+        assert fcm.rows_high == 4
+        assert fcm.rows_low == 6
+
+
+class TestRowSelection:
+    def test_row_sequence_is_distinct_rows(self):
+        fcm = FrequencyAwareCountMin(8, row_width=512, seed=3)
+        for key in range(200):
+            rows = fcm._row_sequence(key, fcm.rows_low)
+            assert len(set(rows)) == len(rows)
+            assert all(0 <= row < 8 for row in rows)
+
+    def test_high_prefix_shared_with_low(self):
+        """The high-class rows are a prefix of the low-class rows."""
+        fcm = FrequencyAwareCountMin(8, row_width=512, seed=3)
+        for key in range(100):
+            high = fcm._row_sequence(key, fcm.rows_high)
+            low = fcm._row_sequence(key, fcm.rows_low)
+            assert low[: len(high)] == high
+
+
+class TestGuarantee:
+    def test_never_underestimates(self, skewed_stream):
+        """Prefix-row queries keep the one-sided guarantee."""
+        fcm = FrequencyAwareCountMin(8, total_bytes=16 * 1024, seed=1)
+        keys = skewed_stream.keys[:30000]
+        for key in keys.tolist():
+            fcm.update(key)
+        exact = skewed_stream.prefix(30000).exact
+        for key, true in exact.items():
+            assert fcm.estimate(key) >= true
+
+    def test_more_accurate_than_count_min_on_skew(self, skewed_stream):
+        """The paper's accuracy claim: FCM beats Count-Min on heavy items."""
+        budget = 16 * 1024
+        fcm = FrequencyAwareCountMin(8, total_bytes=budget, seed=2)
+        cms = CountMinSketch(8, total_bytes=budget, seed=2)
+        for key in skewed_stream.keys.tolist():
+            fcm.update(key)
+        cms.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        keys = [key for key, _ in exact.top_k(300)]
+        fcm_error = sum(
+            fcm.estimate(k) - exact.count_of(k) for k in keys
+        )
+        cms_error = sum(
+            cms.estimate(k) - exact.count_of(k) for k in keys
+        )
+        assert fcm_error < cms_error
+
+
+class TestMgFreeVariant:
+    def test_all_items_use_low_rows(self):
+        fcm = FrequencyAwareCountMin(
+            8, row_width=512, use_mg_counter=False, seed=4
+        )
+        assert fcm.mg_capacity == 0
+        fcm.update(1)
+        # rows_low writes + 2 selection hashes.
+        assert fcm.ops.hash_evals == fcm.rows_low + 2
+        assert fcm.ops.mg_ops == 0
+
+    def test_estimate_exact_when_sparse(self):
+        fcm = FrequencyAwareCountMin(
+            8, row_width=2048, use_mg_counter=False, seed=5
+        )
+        for key in range(15):
+            for _ in range(key + 1):
+                fcm.update(key)
+        for key in range(15):
+            assert fcm.estimate(key) == key + 1
+
+
+class TestClassificationDynamics:
+    def test_new_item_classified_low(self):
+        fcm = FrequencyAwareCountMin(8, row_width=512, mg_capacity=4, seed=7)
+        before = fcm.ops.sketch_cell_writes
+        fcm.update(1)
+        # First occurrence enters MG and is immediately monitored, so it
+        # is classified high for this very update (MG updates first).
+        writes = fcm.ops.sketch_cell_writes - before
+        assert writes in (fcm.rows_high, fcm.rows_low)
+
+    def test_heavy_item_uses_fewer_rows(self):
+        fcm = FrequencyAwareCountMin(8, row_width=512, mg_capacity=2, seed=7)
+        # Make key 1 clearly MG-monitored.
+        for _ in range(20):
+            fcm.update(1)
+        before = fcm.ops.sketch_cell_writes
+        fcm.update(1)
+        assert fcm.ops.sketch_cell_writes - before == fcm.rows_high
+
+    def test_cold_item_on_full_mg_uses_low_rows(self):
+        fcm = FrequencyAwareCountMin(8, row_width=512, mg_capacity=2, seed=7)
+        for _ in range(20):
+            fcm.update(1)
+            fcm.update(2)
+        before = fcm.ops.sketch_cell_writes
+        fcm.update(999)  # MG full of {1, 2}: decrement-all, 999 not kept
+        assert fcm.ops.sketch_cell_writes - before == fcm.rows_low
+
+    def test_class_flip_keeps_one_sided(self):
+        """An item that flips low -> high -> low never underestimates."""
+        fcm = FrequencyAwareCountMin(8, row_width=128, mg_capacity=2, seed=9)
+        true = 0
+        # Phase 1: key 5 becomes heavy (monitored).
+        for _ in range(30):
+            fcm.update(5)
+            true += 1
+        # Phase 2: keys 6 and 7 displace it via decrement sweeps.
+        for _ in range(60):
+            fcm.update(6)
+            fcm.update(7)
+        # Phase 3: key 5 trickles while (probably) unmonitored.
+        for _ in range(5):
+            fcm.update(5)
+            true += 1
+        assert fcm.estimate(5) >= true
+
+
+class TestOps:
+    def test_mg_ops_charged(self):
+        fcm = FrequencyAwareCountMin(8, row_width=512, mg_capacity=8)
+        fcm.update(1)
+        assert fcm.ops.mg_ops >= 1
+        assert fcm.ops.filter_probes >= 1

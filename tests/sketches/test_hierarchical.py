@@ -1,0 +1,146 @@
+"""Tests for the hierarchical (dyadic) Count-Min."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches.hierarchical import HierarchicalCountMin
+from repro.streams.zipf import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    """A hierarchy over a 2**14 domain loaded with a skewed stream."""
+    stream = zipf_stream(60_000, 16_384, 1.5, seed=91)
+    hierarchy = HierarchicalCountMin(
+        14, total_bytes=256 * 1024, num_hashes=4, seed=1
+    )
+    hierarchy.update_batch(stream.keys)
+    return hierarchy, stream
+
+
+class TestConstruction:
+    def test_levels(self):
+        hierarchy = HierarchicalCountMin(10, total_bytes=64 * 1024)
+        assert hierarchy.levels == 11
+        assert hierarchy.domain_size == 1024
+        assert hierarchy.size_bytes <= 64 * 1024
+
+    def test_invalid_domain(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalCountMin(0, total_bytes=64 * 1024)
+        with pytest.raises(ConfigurationError):
+            HierarchicalCountMin(41, total_bytes=64 * 1024)
+
+    def test_budget_too_small(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalCountMin(20, total_bytes=256)
+
+    def test_out_of_domain_keys_rejected(self):
+        hierarchy = HierarchicalCountMin(4, total_bytes=8 * 1024)
+        with pytest.raises(ConfigurationError):
+            hierarchy.update(16)
+        with pytest.raises(ConfigurationError):
+            hierarchy.update_batch(np.array([3, 99]))
+
+
+class TestPointAndRange:
+    def test_point_one_sided(self, loaded):
+        hierarchy, stream = loaded
+        for key, count in stream.exact.top_k(100):
+            assert hierarchy.estimate(key) >= count
+
+    def test_range_one_sided(self, loaded):
+        hierarchy, stream = loaded
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            low = int(rng.integers(0, 16_000))
+            high = int(rng.integers(low, 16_384))
+            true = sum(
+                count
+                for key, count in stream.exact.items()
+                if low <= key <= high
+            )
+            assert hierarchy.range_count(low, high) >= true
+
+    def test_range_reasonably_tight(self, loaded):
+        hierarchy, stream = loaded
+        estimate = hierarchy.range_count(0, 16_383)
+        assert estimate >= len(stream)
+        assert estimate <= len(stream) * 1.5
+
+    def test_single_key_range_matches_point(self, loaded):
+        hierarchy, _ = loaded
+        assert hierarchy.range_count(5, 5) == hierarchy.estimate(5)
+
+    def test_empty_range_rejected(self, loaded):
+        hierarchy, _ = loaded
+        with pytest.raises(ConfigurationError):
+            hierarchy.range_count(10, 5)
+
+    def test_batch_matches_scalar(self):
+        batched = HierarchicalCountMin(8, total_bytes=32 * 1024, seed=3)
+        looped = HierarchicalCountMin(8, total_bytes=32 * 1024, seed=3)
+        keys = np.random.default_rng(7).integers(0, 256, size=2000)
+        batched.update_batch(keys)
+        for key in keys.tolist():
+            looped.update(int(key))
+        for key in range(0, 256, 17):
+            assert batched.estimate(key) == looped.estimate(key)
+
+
+class TestHeavyHittersAndTopK:
+    def test_heavy_hitters_complete(self, loaded):
+        """No true heavy hitter is missed (one-sided descent)."""
+        hierarchy, stream = loaded
+        threshold = int(0.01 * len(stream))
+        reported = {key for key, _ in hierarchy.heavy_hitters(threshold)}
+        for key, count in stream.exact.items():
+            if count >= threshold:
+                assert key in reported
+
+    def test_heavy_hitters_sorted(self, loaded):
+        hierarchy, _ = loaded
+        estimates = [e for _, e in hierarchy.heavy_hitters(500)]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_top_k_recovers_heavies(self, loaded):
+        hierarchy, stream = loaded
+        reported = {key for key, _ in hierarchy.top_k(10)}
+        truth = {key for key, _ in stream.true_top_k(10)}
+        assert len(reported & truth) >= 8
+
+    def test_top_k_on_empty(self):
+        hierarchy = HierarchicalCountMin(6, total_bytes=16 * 1024)
+        assert hierarchy.top_k(5) == []
+
+    def test_invalid_parameters(self, loaded):
+        hierarchy, _ = loaded
+        with pytest.raises(ConfigurationError):
+            hierarchy.heavy_hitters(0)
+        with pytest.raises(ConfigurationError):
+            hierarchy.top_k(0)
+
+
+class TestVsASketchTradeOff:
+    def test_asketch_better_heavy_accuracy_same_space(self, loaded):
+        """The paper's position: at equal space, the filter approach
+        gives better heavy-hitter accuracy than the hierarchy (which
+        splits its budget across levels)."""
+        from repro.core.asketch import ASketch
+
+        hierarchy, stream = loaded
+        asketch = ASketch(
+            total_bytes=hierarchy.size_bytes, filter_items=32, seed=2
+        )
+        asketch.process_stream(stream.keys)
+        top = stream.true_top_k(20)
+        hierarchy_error = sum(
+            hierarchy.estimate(key) - count for key, count in top
+        )
+        asketch_error = sum(
+            asketch.query(key) - count for key, count in top
+        )
+        assert asketch_error <= hierarchy_error

@@ -1,0 +1,116 @@
+"""Unit tests for the Holistic-UDAF aggregate table + sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.holistic_udaf import HolisticUDAF
+
+
+class TestConstruction:
+    def test_table_space_carved_from_budget(self):
+        hudaf = HolisticUDAF(32, total_bytes=128 * 1024)
+        plain = CountMinSketch(8, total_bytes=128 * 1024)
+        assert hudaf.sketch.row_width < plain.row_width
+        assert hudaf.size_bytes <= 128 * 1024
+
+    def test_table_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HolisticUDAF(1024, total_bytes=4096)
+
+    def test_zero_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HolisticUDAF(0, total_bytes=4096)
+
+
+class TestFlushing:
+    def test_no_flush_until_table_full(self):
+        hudaf = HolisticUDAF(4, total_bytes=16 * 1024)
+        for key in [1, 2, 3, 4, 1, 2]:
+            hudaf.process(key)
+        assert hudaf.flush_count == 0
+        assert hudaf.sketch.total_count() == 0
+
+    def test_flush_on_overflow(self):
+        hudaf = HolisticUDAF(4, total_bytes=16 * 1024)
+        for key in [1, 2, 3, 4, 5]:
+            hudaf.process(key)
+        assert hudaf.flush_count == 1
+        # The four old keys were flushed; 5 is pending in the table.
+        assert hudaf.sketch.total_count() == 4
+
+    def test_aggregation_before_flush(self):
+        hudaf = HolisticUDAF(2, total_bytes=16 * 1024)
+        for key in [1, 1, 1, 2, 3]:
+            hudaf.process(key)
+        # Flush pushed {1: 3, 2: 1} as aggregated counts.
+        assert hudaf.sketch.estimate(1) >= 3
+
+    def test_manual_flush(self):
+        hudaf = HolisticUDAF(8, total_bytes=16 * 1024)
+        hudaf.process(1)
+        hudaf.flush()
+        assert hudaf.flush_count == 1
+        assert hudaf.sketch.estimate(1) >= 1
+
+
+class TestEstimates:
+    def test_estimate_includes_pending_table_count(self):
+        hudaf = HolisticUDAF(8, total_bytes=16 * 1024)
+        for _ in range(5):
+            hudaf.process(9)
+        assert hudaf.estimate(9) >= 5  # nothing flushed yet
+
+    def test_never_underestimates(self, skewed_stream):
+        hudaf = HolisticUDAF(32, total_bytes=32 * 1024, seed=1)
+        hudaf.process_stream(skewed_stream.keys)
+        exact = skewed_stream.exact
+        for key, true in exact.top_k(200):
+            assert hudaf.estimate(key) >= true
+
+    def test_error_comparable_to_count_min(self, skewed_stream):
+        """Figure 7's observation: H-UDAF error ~= Count-Min error."""
+        budget = 32 * 1024
+        hudaf = HolisticUDAF(32, total_bytes=budget, seed=2)
+        cms = CountMinSketch(8, total_bytes=budget, seed=2)
+        hudaf.process_stream(skewed_stream.keys)
+        cms.update_batch(skewed_stream.keys)
+        exact = skewed_stream.exact
+        keys = [key for key, _ in exact.top_k(500)]
+        hudaf_error = sum(hudaf.estimate(k) - exact.count_of(k) for k in keys)
+        cms_error = sum(cms.estimate(k) - exact.count_of(k) for k in keys)
+        # Same order of magnitude (they share the sketch mechanism).
+        assert hudaf_error <= cms_error * 5 + 50
+        assert cms_error <= hudaf_error * 5 + 50
+
+    def test_final_state_matches_direct_sketch_after_flush(self, rng):
+        """Flush-everything ends in the same sketch state as direct feed."""
+        keys = rng.integers(0, 100, size=3000)
+        hudaf = HolisticUDAF(16, total_bytes=16 * 1024, seed=3)
+        hudaf.process_stream(np.asarray(keys))
+        hudaf.flush()
+        direct = CountMinSketch(
+            8, row_width=hudaf.sketch.row_width, seed=3
+        )
+        direct.update_batch(np.asarray(keys))
+        np.testing.assert_array_equal(hudaf.sketch.table, direct.table)
+
+
+class TestThroughputShape:
+    def test_fewer_flushes_with_skew(self, skewed_stream, uniform_keys):
+        skewed = HolisticUDAF(32, total_bytes=32 * 1024)
+        skewed.process_stream(skewed_stream.keys[:20000])
+        uniform = HolisticUDAF(32, total_bytes=32 * 1024)
+        uniform.process_stream(uniform_keys[:20000])
+        assert skewed.flush_count < uniform.flush_count
+
+    def test_stage_ops_split(self, uniform_keys):
+        hudaf = HolisticUDAF(32, total_bytes=32 * 1024)
+        hudaf.process_stream(uniform_keys[:5000])
+        stage0, stage1 = hudaf.stage_ops()
+        assert stage0.filter_probes == 5000
+        assert stage1.hash_evals > 0
+        assert stage1.filter_probes == 0

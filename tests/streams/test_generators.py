@@ -1,0 +1,193 @@
+"""Tests for the stream generators and the Stream container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams import (
+    Stream,
+    ip_trace_stream,
+    kosarak_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.ip_trace import decode_edge, encode_edge
+from repro.streams.kosarak import PAPER_DISTINCT_ITEMS
+
+
+class TestStreamContainer:
+    def test_length_and_total(self):
+        stream = Stream(keys=np.array([1, 2, 2, 3]))
+        assert len(stream) == 4
+        assert stream.total_count == 4
+
+    def test_exact_cached(self):
+        stream = Stream(keys=np.array([1, 2, 2, 3]))
+        assert stream.exact is stream.exact
+        assert stream.exact.count_of(2) == 2
+
+    def test_rejects_2d_keys(self):
+        with pytest.raises(ConfigurationError):
+            Stream(keys=np.zeros((2, 2)))
+
+    def test_prefix_has_fresh_truth(self):
+        stream = Stream(keys=np.array([5, 5, 7, 8]))
+        prefix = stream.prefix(2)
+        assert len(prefix) == 2
+        assert prefix.exact.count_of(5) == 2
+        assert prefix.exact.count_of(7) == 0
+
+    def test_chunks_cover_stream(self):
+        stream = Stream(keys=np.arange(10))
+        chunks = list(stream.chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        np.testing.assert_array_equal(np.concatenate(chunks), stream.keys)
+
+    def test_true_top_k_and_max_frequency(self):
+        stream = Stream(keys=np.array([1, 1, 1, 2, 2, 3]))
+        assert stream.true_top_k(2) == [(1, 3), (2, 2)]
+        assert stream.max_frequency() == 3
+
+    def test_iteration(self):
+        stream = Stream(keys=np.array([4, 5]))
+        assert list(stream) == [4, 5]
+
+
+class TestZipf:
+    def test_deterministic_per_seed(self):
+        first = zipf_stream(1000, 100, 1.2, seed=3)
+        second = zipf_stream(1000, 100, 1.2, seed=3)
+        np.testing.assert_array_equal(first.keys, second.keys)
+
+    def test_different_seeds_differ(self):
+        first = zipf_stream(1000, 100, 1.2, seed=3)
+        second = zipf_stream(1000, 100, 1.2, seed=4)
+        assert not np.array_equal(first.keys, second.keys)
+
+    def test_keys_within_domain(self):
+        stream = zipf_stream(5000, 256, 1.0, seed=1)
+        assert stream.keys.min() >= 0
+        assert stream.keys.max() < 256
+
+    def test_skew_concentrates_mass(self):
+        flat = zipf_stream(20_000, 5_000, 0.0, seed=2)
+        steep = zipf_stream(20_000, 5_000, 2.0, seed=2)
+        flat_top = sum(count for _, count in flat.exact.top_k(10))
+        steep_top = sum(count for _, count in steep.exact.top_k(10))
+        assert steep_top > 5 * flat_top
+
+    def test_top_mass_matches_analysis(self):
+        """Empirical top-32 mass tracks the closed form within noise."""
+        from repro.core.analysis import zipf_top_k_mass
+
+        stream = zipf_stream(200_000, 20_000, 1.5, seed=5)
+        top_mass = sum(count for _, count in stream.exact.top_k(32))
+        predicted = zipf_top_k_mass(1.5, 20_000, 32)
+        assert top_mass / len(stream) == pytest.approx(predicted, rel=0.05)
+
+    def test_keys_uncorrelated_with_rank(self):
+        """The most frequent item should not always be key 0."""
+        top_keys = {
+            zipf_stream(5000, 1000, 2.0, seed=s).true_top_k(1)[0][0]
+            for s in range(5)
+        }
+        assert top_keys != {0}
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_stream(100, 10, -1.0)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_stream(0, 10, 1.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_stream(100, 10, 1.0, method="bootstrap")
+
+
+class TestExpectedCountsMethod:
+    def test_exact_length(self):
+        stream = zipf_stream(12_345, 900, 1.3, seed=3, method="expected")
+        assert len(stream) == 12_345
+
+    def test_counts_match_expectation(self):
+        from repro.core.analysis import zipf_probabilities
+
+        n, m, skew = 50_000, 2_000, 1.5
+        stream = zipf_stream(n, m, skew, seed=4, method="expected")
+        probabilities = np.sort(zipf_probabilities(skew, m))[::-1]
+        realised = np.sort(
+            np.array([c for _, c in stream.exact.items()])
+        )[::-1]
+        expected_top = probabilities[0] * n
+        # The realised top count equals the rounded expectation exactly.
+        assert abs(realised[0] - expected_top) <= 1
+
+    def test_no_frequency_noise_across_seeds(self):
+        """Different seeds shuffle order/labels but realise identical
+        frequency vectors."""
+        first = zipf_stream(10_000, 500, 1.2, seed=5, method="expected")
+        second = zipf_stream(10_000, 500, 1.2, seed=6, method="expected")
+        counts_a = sorted(c for _, c in first.exact.items())
+        counts_b = sorted(c for _, c in second.exact.items())
+        assert counts_a == counts_b
+
+    def test_sampled_method_has_noise(self):
+        first = zipf_stream(10_000, 500, 1.2, seed=5, method="sampled")
+        second = zipf_stream(10_000, 500, 1.2, seed=6, method="sampled")
+        counts_a = sorted(c for _, c in first.exact.items())
+        counts_b = sorted(c for _, c in second.exact.items())
+        assert counts_a != counts_b
+
+
+class TestUniform:
+    def test_matches_zipf_zero_statistically(self):
+        uniform = uniform_stream(50_000, 500, seed=1)
+        counts = np.array([c for _, c in uniform.exact.items()])
+        assert counts.mean() == pytest.approx(100, rel=0.05)
+        assert counts.std() < 30
+
+    def test_skew_attribute_zero(self):
+        assert uniform_stream(100, 10).skew == 0.0
+
+
+class TestIpTrace:
+    def test_published_shape(self):
+        stream = ip_trace_stream(stream_size=100_000, n_distinct=3_000, seed=2)
+        assert stream.name == "ip-trace"
+        assert stream.skew == 0.9
+        assert len(stream) == 100_000
+
+    def test_edges_decode_to_endpoints(self):
+        stream = ip_trace_stream(stream_size=10_000, n_distinct=1_000, seed=2)
+        for key in stream.keys[:100].tolist():
+            source, destination = decode_edge(key % (1 << 42))
+            assert source >= 0 and destination >= 0
+
+    def test_encode_decode_roundtrip(self):
+        assert decode_edge(encode_edge(123, 456)) == (123, 456)
+
+    def test_distinct_edges_preserved(self):
+        stream = ip_trace_stream(stream_size=50_000, n_distinct=2_000, seed=3)
+        # Collision fixing must keep the distinct count of the base stream.
+        base_distinct = stream.distinct_seen()
+        assert base_distinct <= 2_000
+        assert base_distinct > 1_000
+
+
+class TestKosarak:
+    def test_published_shape(self):
+        stream = kosarak_stream(stream_size=50_000, seed=4)
+        assert stream.name == "kosarak"
+        assert stream.skew == 1.0
+        assert stream.n_distinct_domain == PAPER_DISTINCT_ITEMS
+
+    def test_max_frequency_ratio_plausible(self):
+        """Paper: max frequency ~7.5% of the stream; Zipf 1.0 over 40 270
+        items gives ~9%."""
+        stream = kosarak_stream(stream_size=200_000, seed=4)
+        ratio = stream.max_frequency() / len(stream)
+        assert 0.04 < ratio < 0.15

@@ -1,0 +1,47 @@
+"""Tests for stream persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamFormatError
+from repro.streams import load_stream, save_stream, zipf_stream
+
+
+class TestRoundtrip:
+    def test_keys_and_metadata_survive(self, tmp_path):
+        stream = zipf_stream(2000, 300, 1.3, seed=8, name="roundtrip")
+        path = tmp_path / "stream.npz"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        np.testing.assert_array_equal(loaded.keys, stream.keys)
+        assert loaded.name == "roundtrip"
+        assert loaded.skew == 1.3
+        assert loaded.n_distinct_domain == 300
+        assert loaded.seed == 8
+
+    def test_loaded_stream_usable(self, tmp_path):
+        stream = zipf_stream(1000, 100, 1.0, seed=1)
+        path = tmp_path / "s.npz"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert loaded.exact.total == 1000
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StreamFormatError):
+            load_stream(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(StreamFormatError):
+            load_stream(path)
+
+    def test_wrong_archive_keys(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, values=np.arange(5))
+        with pytest.raises(StreamFormatError):
+            load_stream(path)

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.ConfigurationError,
+            errors.CapacityError,
+            errors.NegativeCountError,
+            errors.UnknownExperimentError,
+            errors.StreamFormatError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, errors.ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_single_catch_covers_library_failures(self):
+        """The documented catch-all pattern works."""
+        from repro import ASketch
+
+        with pytest.raises(errors.ReproError):
+            ASketch()  # missing sizing arguments
+
+    def test_library_never_raises_bare_exceptions_for_config(self):
+        """Configuration mistakes raise ConfigurationError, not ValueError."""
+        from repro import CountMinSketch
+
+        with pytest.raises(errors.ConfigurationError):
+            CountMinSketch(num_hashes=0, row_width=10)
