@@ -8,7 +8,6 @@ accuracy and exchange volume.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.asketch import ASketch

@@ -12,8 +12,6 @@ query model.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.asketch import ASketch
 from repro.metrics.error import observed_error_percent
 from repro.queries.workload import (
@@ -26,7 +24,6 @@ from repro.streams.zipf import zipf_stream
 STREAM = zipf_stream(100_000, 25_000, 1.4, seed=171)
 BUDGET = 64 * 1024
 
-
 def build_both():
     count_min = CountMinSketch(8, total_bytes=BUDGET, seed=16)
     count_min.update_batch(STREAM.keys)
@@ -34,13 +31,11 @@ def build_both():
     asketch.process_stream(STREAM.keys)
     return count_min, asketch
 
-
 def error_ratio(count_min, asketch, queries) -> float:
     truths = [STREAM.exact.count_of(int(key)) for key in queries]
     cms = observed_error_percent(count_min.estimate_batch(queries), truths)
     ask = observed_error_percent(asketch.query_batch(queries), truths)
     return (cms + 1e-12) / (ask + 1e-12)
-
 
 def test_query_model_sensitivity(benchmark):
     count_min, asketch = benchmark.pedantic(

@@ -3,9 +3,16 @@
 These are the raw ingredients of every figure: filter probe, sketch
 update, exchange, query.  Absolute numbers are Python-scaled; ratios
 between them are what the reproduction relies on.
+
+Set ``REPRO_BENCH_TINY=1`` to shrink the large batched-vs-scalar
+comparison streams — the CI benchmark-smoke job uses this so every PR
+gets a timing JSON artifact in minutes, not hours.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -16,6 +23,12 @@ from repro.sketches.count_min import CountMinSketch
 from repro.streams.zipf import zipf_stream
 
 STREAM = zipf_stream(40_000, 10_000, 1.5, seed=61)
+
+#: Tiny mode for the CI benchmark-smoke job (see module docstring).
+TINY = os.environ.get("REPRO_BENCH_TINY", "0") not in ("0", "")
+#: The batched-vs-scalar comparison stream: 1M-item Zipf(1.5) by default.
+SPEEDUP_ITEMS = 60_000 if TINY else 1_000_000
+SPEEDUP_DOMAIN = 20_000 if TINY else 100_000
 
 
 @pytest.mark.parametrize(
@@ -62,6 +75,49 @@ def test_asketch_stream_ingest(benchmark):
     benchmark.pedantic(ingest, rounds=3, iterations=1)
 
 
+def test_asketch_batch_ingest(benchmark):
+    """The vectorised chunk path over the same stream as the scalar
+    ingest bench above — the ratio between the two is the batched-path
+    win at this scale."""
+    keys = STREAM.keys[:20_000]
+
+    def ingest():
+        asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+        asketch.process_batch(keys)
+        return asketch
+
+    benchmark.pedantic(ingest, rounds=3, iterations=1)
+
+
+def test_asketch_batched_speedup():
+    """Acceptance check: ``process_batch`` is at least 5x faster than the
+    scalar ``process_stream`` on a 1M-item Zipf(1.5) stream (full size
+    unless ``REPRO_BENCH_TINY`` shrinks it for the CI smoke job)."""
+    stream = zipf_stream(SPEEDUP_ITEMS, SPEEDUP_DOMAIN, 1.5, seed=61)
+    keys = stream.keys
+    chunk_size = 100_000
+
+    scalar = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+    start = time.perf_counter()
+    scalar.process_stream(keys)
+    scalar_seconds = time.perf_counter() - start
+
+    batched = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+    start = time.perf_counter()
+    for offset in range(0, keys.shape[0], chunk_size):
+        batched.process_batch(keys[offset : offset + chunk_size])
+    batched_seconds = time.perf_counter() - start
+
+    assert batched.total_mass == scalar.total_mass == keys.shape[0]
+    speedup = scalar_seconds / batched_seconds
+    print(
+        f"\nbatched ingest: scalar {scalar_seconds:.2f}s, "
+        f"batched {batched_seconds:.3f}s, speedup {speedup:.1f}x "
+        f"({keys.shape[0]} items)"
+    )
+    assert speedup >= 5.0
+
+
 def test_asketch_query_path(benchmark):
     asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=65)
     asketch.process_stream(STREAM.keys)
@@ -72,6 +128,15 @@ def test_asketch_query_path(benchmark):
             asketch.query(key)
 
     benchmark(run_queries)
+
+
+def test_asketch_batch_query_path(benchmark):
+    """Vectorised point queries (one bulk filter probe + one batched
+    sketch read), matching the scalar query bench's workload."""
+    asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=65)
+    asketch.process_batch(STREAM.keys)
+    queries = STREAM.keys[:5000]
+    benchmark(asketch.query_batch, queries)
 
 
 def test_exchange_heavy_path(benchmark):

@@ -8,9 +8,6 @@ deletions.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.core.asketch import ASketch
 from repro.core.kernel_group import KernelGroup
 from repro.core.window import SlidingWindowASketch
@@ -19,7 +16,6 @@ from repro.streams.zipf import zipf_stream
 STREAMS = [
     zipf_stream(20_000, 5_000, 1.5, seed=111 + index) for index in range(4)
 ]
-
 
 def test_asketch_merge(benchmark):
     def build_and_merge():
@@ -36,7 +32,6 @@ def test_asketch_merge(benchmark):
     merged = benchmark.pedantic(build_and_merge, rounds=1, iterations=1)
     assert merged.total_mass == sum(len(s) for s in STREAMS)
 
-
 def test_kernel_group_query(benchmark):
     group = KernelGroup(4, total_bytes=64 * 1024, seed=10)
     for index, stream in enumerate(STREAMS):
@@ -44,7 +39,6 @@ def test_kernel_group_query(benchmark):
     probe = STREAMS[0].keys[:500]
 
     benchmark(group.query_batch, probe)
-
 
 def test_sliding_window_ingest(benchmark):
     keys = STREAMS[0].keys

@@ -6,7 +6,6 @@ writes the reproduced rows to ``results/table1.txt``.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import POINT_CONFIG

@@ -229,8 +229,17 @@ class ASketch:
             miss_log.append(True)
         self.miss_events += 1
         self.overflow_mass += amount
+        estimate = self._sketch.update(key, amount)
+        return self._run_exchanges(key, estimate)
+
+    def _run_exchanges(self, key: int, current_estimate: int) -> int:
+        """Algorithm 1 lines 9-17: at most ``max_exchanges_per_update``
+        exchanges triggered by a missed key whose post-update sketch
+        estimate is ``current_estimate``.  Returns the key's estimate
+        (its filter ``new_count`` if it was exchanged in).
+        """
+        filter_ = self._filter
         current_key = key
-        current_estimate = self._sketch.update(key, amount)
         result = current_estimate
         exchanges_done = 0
         while (
@@ -264,6 +273,110 @@ class ASketch:
         for key in keys.tolist():
             process(key, 1)
 
+    def process_batch(
+        self, keys: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Vectorised Algorithm 1 over a chunk of (key, count) tuples.
+
+        Semantically a chunk-granularity reordering of the scalar path:
+
+        1. the chunk is pre-aggregated to one (key, total) pair per
+           distinct key (first-appearance order);
+        2. the filter absorbs every monitored key's chunk total in one
+           bulk probe (:meth:`Filter.add_many_if_present`), and free
+           slots are filled with new keys in first-appearance order —
+           identical to the scalar path, which inserts a key's first
+           occurrence and aggregates the rest as hits;
+        3. every remaining missed key's total goes to the sketch in a
+           single weighted batch update;
+        4. the exchange check runs once per distinct missed key, in
+           first-appearance order, against the key's post-chunk sketch
+           estimate (the scalar loop shared by both paths).
+
+        With single-tuple chunks this is *exactly* the scalar path.  For
+        larger chunks the only deviation is exchange timing: a key the
+        scalar path would exchange into the filter mid-chunk keeps
+        overflowing to the sketch until the chunk ends, and exchange
+        decisions see post-chunk estimates and post-chunk filter minima.
+        Every decision still compares a one-sided over-estimate against
+        the filter minimum, so the one-sided error guarantee and the
+        ``new_count``/``old_count`` bookkeeping are preserved (exchanged
+        keys enter with ``new_count = old_count = estimate``, evicted
+        resident mass is hashed back) — estimates may simply differ from
+        the scalar path's by the mass a chunk reorders, bounded by the
+        chunk size.
+
+        ``counts`` defaults to all-ones (a unit-count stream chunk);
+        negative counts must go through :meth:`remove`.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n_items = keys.shape[0]
+        if counts is None:
+            counts = np.ones(n_items, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != keys.shape:
+                raise ConfigurationError(
+                    "keys and counts must have matching shapes, got "
+                    f"{keys.shape} and {counts.shape}"
+                )
+            if n_items and int(counts.min()) < 0:
+                raise NegativeCountError(
+                    "use remove() for deletions (negative updates)"
+                )
+        if n_items == 0:
+            return
+        self.ops.items += n_items
+        self.total_mass += int(counts.sum())
+
+        # (1) pre-aggregate: one (key, chunk total) pair per distinct key.
+        uniq, first_pos, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        totals = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.add.at(totals, inverse, counts)
+        order = np.argsort(first_pos)  # first-appearance order
+        uniq = uniq[order]
+        totals = totals[order]
+
+        # (2) one bulk probe; monitored keys aggregate in place.
+        filter_ = self._filter
+        hit_mask = filter_.add_many_if_present(uniq, totals)
+        miss_positions = np.flatnonzero(~hit_mask)
+
+        # (2b) free slots take new keys in first-appearance order.
+        filled = 0
+        while filled < miss_positions.shape[0] and not filter_.is_full:
+            position = int(miss_positions[filled])
+            filter_.insert(int(uniq[position]), int(totals[position]), 0)
+            filled += 1
+        sketch_positions = miss_positions[filled:]
+
+        # Per-tuple overflow bookkeeping (True = the tuple's key
+        # overflowed to the sketch), indexed like the sorted uniques so
+        # ``inverse`` scatters it back to chunk order.
+        overflowed = np.zeros(uniq.shape[0], dtype=bool)
+        overflowed[order[sketch_positions]] = True
+        per_tuple_miss = overflowed[inverse]
+        self.miss_events += int(np.count_nonzero(per_tuple_miss))
+        if self._miss_log is not None:
+            self._miss_log.extend(per_tuple_miss.tolist())
+        if sketch_positions.shape[0] == 0:
+            return
+
+        # (3) all missed mass enters the sketch in one weighted batch.
+        sketch_keys = uniq[sketch_positions]
+        sketch_totals = totals[sketch_positions]
+        self.overflow_mass += int(sketch_totals.sum())
+        self._sketch.update_batch_weighted(sketch_keys, sketch_totals)
+
+        # (4) at most ``max_exchanges_per_update`` exchanges per distinct
+        # missed key, in first-appearance order (order-stable at chunk
+        # granularity), driven by post-chunk estimates.
+        estimates = self._sketch.estimate_batch(sketch_keys)
+        for key, estimate in zip(sketch_keys.tolist(), estimates):
+            self._run_exchanges(key, int(estimate))
+
     def record_misses(self, enabled: bool = True) -> None:
         """Toggle the per-item hit/miss trace.
 
@@ -296,8 +409,29 @@ class ASketch:
     estimate = query
 
     def query_batch(self, keys) -> list[int]:
-        """Point-query every key in order."""
-        return [self.query(int(key)) for key in keys]
+        """Point-query every key in order (vectorised Algorithm 2).
+
+        One bulk filter probe answers the monitored keys; the misses go
+        to the sketch in a single :meth:`FrequencySketch.estimate_batch`
+        call.  Answers are identical to per-key :meth:`query`, and the
+        operation record is charged once for the whole batch (``n``
+        items, ``n`` filter probes, one batched sketch read per miss)
+        instead of re-entering :meth:`query` per key.
+        """
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
+        keys = np.asarray(keys, dtype=np.int64)
+        n_items = keys.shape[0]
+        if n_items == 0:
+            return []
+        self.ops.items += n_items
+        hit_mask, answers = self._filter.lookup_many(keys)
+        miss_mask = ~hit_mask
+        if miss_mask.any():
+            answers[miss_mask] = np.asarray(
+                self._sketch.estimate_batch(keys[miss_mask]), dtype=np.int64
+            )
+        return [int(v) for v in answers]
 
     estimate_batch = query_batch
 

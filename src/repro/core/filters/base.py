@@ -22,6 +22,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CapacityError, ConfigurationError
 from repro.hardware.costs import OpCounters
 
@@ -141,6 +143,57 @@ class Filter(ABC):
         """new_count of a monitored key, else None (Algorithm 2 path)."""
         counts = self.get_counts(key)
         return None if counts is None else counts[0]
+
+    # -- bulk operations (batched ingest/query path) -----------------------
+    #
+    # The defaults below loop over the scalar operations, so every filter
+    # implementation supports the ASketch batched path with unchanged
+    # semantics and operation accounting.  Array-backed filters override
+    # them with vectorised versions (see ``VectorFilter``).
+
+    def keys_array(self) -> np.ndarray:
+        """Currently monitored keys as an int64 array (order unspecified)."""
+        return np.fromiter(
+            (entry.key for entry in self.entries()),
+            dtype=np.int64,
+            count=len(self),
+        )
+
+    def add_many_if_present(
+        self, keys: np.ndarray, amounts: np.ndarray
+    ) -> np.ndarray:
+        """Bulk :meth:`add_if_present`; returns the boolean hit mask.
+
+        ``keys[i]`` receives ``amounts[i]`` if monitored.  Callers pass
+        pre-aggregated (distinct key, chunk total) pairs, so one entry
+        here stands for a whole chunk's worth of scalar hits.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        amounts = np.asarray(amounts, dtype=np.int64)
+        hits = np.empty(keys.shape[0], dtype=bool)
+        for position, (key, amount) in enumerate(
+            zip(keys.tolist(), amounts.tolist())
+        ):
+            hits[position] = self.add_if_present(key, amount)
+        return hits
+
+    def lookup_many(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk :meth:`get_new_count`: ``(hit_mask, new_counts)``.
+
+        ``new_counts[i]`` is only meaningful where ``hit_mask[i]`` is
+        True; misses are left as 0.  Keys need not be distinct.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        mask = np.zeros(keys.shape[0], dtype=bool)
+        counts = np.zeros(keys.shape[0], dtype=np.int64)
+        for position, key in enumerate(keys.tolist()):
+            new_count = self.get_new_count(key)
+            if new_count is not None:
+                mask[position] = True
+                counts[position] = new_count
+        return mask, counts
 
     def top_k(self, k: int) -> list[tuple[int, int]]:
         """The k highest (key, new_count) pairs, descending new_count."""

@@ -1,9 +1,12 @@
 """Ingestion engine with periodic consumers over a synopsis.
 
 The engine is synopsis-agnostic: anything with ``process_stream`` works
-(ASketch, plain sketches, Space Saving, a sharded group).  Consumers are
-callbacks fired every ``period`` ingested tuples — the "continuous
-query" pattern of the paper's application scenarios.
+(ASketch, plain sketches, Space Saving, a sharded group).  Synopses that
+also expose a vectorised ``process_batch`` (ASketch, ShardedASketch) are
+driven through it by default — each chunk becomes one batched ingest
+call instead of a per-item Python loop.  Consumers are callbacks fired
+every ``period`` ingested tuples — the "continuous query" pattern of the
+paper's application scenarios.
 """
 
 from __future__ import annotations
@@ -21,6 +24,14 @@ class SupportsIngest(Protocol):
     """Anything the engine can drive."""
 
     def process_stream(self, keys: np.ndarray) -> None: ...
+
+
+class SupportsBatchIngest(Protocol):
+    """A synopsis with the vectorised chunk path (ASketch and friends)."""
+
+    def process_batch(
+        self, keys: np.ndarray, counts: np.ndarray | None = None
+    ) -> None: ...
 
 
 @dataclass
@@ -57,10 +68,31 @@ class StreamEngine:
     ----------
     synopsis:
         The summary to feed (ASketch, a sketch, ShardedASketch, ...).
+    batched:
+        Ingest mode.  ``None`` (default) uses the synopsis's vectorised
+        ``process_batch`` when it has one and falls back to
+        ``process_stream`` otherwise; ``True`` requires ``process_batch``
+        (raising :class:`ConfigurationError` if absent); ``False`` forces
+        the scalar per-item path — useful when per-item exchange timing
+        must match a scalar reference run exactly (the batched path
+        reorders exchanges at chunk granularity, see
+        :meth:`repro.core.asketch.ASketch.process_batch`).
     """
 
-    def __init__(self, synopsis: SupportsIngest) -> None:
+    def __init__(
+        self, synopsis: SupportsIngest, batched: bool | None = None
+    ) -> None:
         self.synopsis = synopsis
+        process_batch = getattr(synopsis, "process_batch", None)
+        if batched and process_batch is None:
+            raise ConfigurationError(
+                f"{type(synopsis).__name__} has no process_batch; "
+                "use batched=False or a batch-capable synopsis"
+            )
+        self.batched = (
+            process_batch is not None if batched is None else bool(batched)
+        )
+        self._ingest = process_batch if self.batched else synopsis.process_stream
         self.stats = EngineStats()
         self._consumers: list[_Consumer] = []
 
@@ -78,10 +110,11 @@ class StreamEngine:
 
     def run(self, chunks: Iterable[np.ndarray]) -> EngineStats:
         """Ingest every chunk, firing due consumers between chunks."""
+        ingest = self._ingest
         for chunk in chunks:
             chunk = np.asarray(chunk, dtype=np.int64)
             start = time.perf_counter()
-            self.synopsis.process_stream(chunk)
+            ingest(chunk)
             self.stats.wall_seconds += time.perf_counter() - start
             self.stats.tuples_ingested += int(chunk.shape[0])
             self.stats.chunks_ingested += 1

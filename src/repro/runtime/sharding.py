@@ -84,6 +84,26 @@ class ShardedASketch:
             if share.size:
                 shard.process_stream(share)
 
+    def process_batch(
+        self, keys: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Partition a chunk by owner and batch-ingest each shard's share.
+
+        Stable partitioning preserves first-appearance order within a
+        shard, so each shard sees exactly the chunk-granularity exchange
+        semantics of :meth:`repro.core.asketch.ASketch.process_batch`.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+        owners = self._router.hash_array(encode_key_array(keys))
+        for index, shard in enumerate(self._shards):
+            mask = owners == index
+            if mask.any():
+                shard.process_batch(
+                    keys[mask], None if counts is None else counts[mask]
+                )
+
     def update(self, key: int, amount: int = 1) -> int:
         """Route one weighted update to its owner shard."""
         return self._shards[self.shard_of(key)].update(key, amount)
@@ -101,8 +121,23 @@ class ShardedASketch:
     estimate = query
 
     def query_batch(self, keys: Iterable[int]) -> list[int]:
-        """Owner-shard point queries for many keys."""
-        return [self.query(int(key)) for key in keys]
+        """Owner-shard point queries for many keys.
+
+        Partitions the batch by owner and runs each shard's vectorised
+        ``query_batch`` once, scattering answers back into input order.
+        """
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return []
+        owners = self._router.hash_array(encode_key_array(keys))
+        answers = np.empty(keys.shape[0], dtype=np.int64)
+        for index, shard in enumerate(self._shards):
+            mask = owners == index
+            if mask.any():
+                answers[mask] = shard.query_batch(keys[mask])
+        return [int(v) for v in answers]
 
     estimate_batch = query_batch
 

@@ -78,6 +78,22 @@ class FrequencySketch(ABC):
         for key in keys.tolist():
             self.update(int(key), amount)
 
+    def update_batch_weighted(
+        self, keys: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Apply per-key weighted updates (no estimates returned).
+
+        ``keys[i]`` receives ``amounts[i]``.  This is the miss path of
+        the ASketch batched ingest: a chunk is pre-aggregated to one
+        (key, total) pair per distinct key before it reaches the sketch.
+        The default loops; array-backed sketches override with one
+        vectorised scatter-add per row.
+        """
+        keys = np.asarray(keys)
+        amounts = np.asarray(amounts)
+        for key, amount in zip(keys.tolist(), amounts.tolist()):
+            self.update(int(key), int(amount))
+
     def estimate_batch(self, keys: Iterable[int]) -> list[int]:
         """Point-query every key; default loops over :meth:`estimate`."""
         return [self.estimate(int(key)) for key in keys]

@@ -168,6 +168,30 @@ class CountMinSketch(FrequencySketch):
                 "batch negative update drove a Count-Min cell below zero"
             )
 
+    def update_batch_weighted(
+        self, keys: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Vectorised per-key weighted updates (one scatter-add per row).
+
+        Conservative mode falls back to the per-item loop for the same
+        reason :meth:`update_batch` does.
+        """
+        keys = np.asarray(keys)
+        amounts = np.asarray(amounts, dtype=np.int64)
+        if self.conservative:
+            super().update_batch_weighted(keys, amounts)
+            return
+        encoded = encode_key_array(keys)
+        self.ops.hash_evals += self.num_hashes * len(keys)
+        self.ops.sketch_cell_writes += self.num_hashes * len(keys)
+        for row, family in enumerate(self._hashes):
+            columns = family.hash_array(encoded)
+            np.add.at(self._table[row], columns, amounts)
+        if amounts.size and int(amounts.min()) < 0 and (self._table < 0).any():
+            raise NegativeCountError(
+                "batch negative update drove a Count-Min cell below zero"
+            )
+
     # -- queries ----------------------------------------------------------
 
     def estimate(self, key: int) -> int:

@@ -90,6 +90,20 @@ class CountSketch(FrequencySketch):
             signs = self._signs[row].hash_array(encoded)
             np.add.at(self._table[row], columns, signs * amount)
 
+    def update_batch_weighted(
+        self, keys: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Vectorised per-key weighted updates (signed scatter-add)."""
+        keys = np.asarray(keys)
+        amounts = np.asarray(amounts, dtype=np.int64)
+        encoded = encode_key_array(keys)
+        self.ops.hash_evals += 2 * self.num_hashes * len(keys)
+        self.ops.sketch_cell_writes += self.num_hashes * len(keys)
+        for row in range(self.num_hashes):
+            columns = self._hashes[row].hash_array(encoded)
+            signs = self._signs[row].hash_array(encoded)
+            np.add.at(self._table[row], columns, signs * amounts)
+
     def estimate(self, key: int) -> int:
         """Median of signed cells; can under- as well as over-estimate."""
         self.ops.hash_evals += 2 * self.num_hashes
@@ -99,6 +113,21 @@ class CountSketch(FrequencySketch):
             for row, (col, sign) in enumerate(self._locate(key))
         ]
         return int(statistics.median(values))
+
+    def estimate_batch(self, keys) -> list[int]:
+        """Vectorised point queries (row-wise signed reads, median)."""
+        keys = np.asarray(list(keys))
+        if keys.size == 0:
+            return []
+        encoded = encode_key_array(keys)
+        self.ops.hash_evals += 2 * self.num_hashes * len(keys)
+        self.ops.sketch_cell_reads += self.num_hashes * len(keys)
+        signed = np.empty((self.num_hashes, len(keys)), dtype=np.int64)
+        for row in range(self.num_hashes):
+            columns = self._hashes[row].hash_array(encoded)
+            signs = self._signs[row].hash_array(encoded)
+            signed[row] = signs * self._table[row, columns]
+        return [int(v) for v in np.median(signed, axis=0)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

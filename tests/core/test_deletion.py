@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.asketch import ASketch
 from repro.counters.exact import ExactCounter
 from repro.errors import NegativeCountError
-
 
 @pytest.fixture(params=["vector", "strict-heap", "relaxed-heap",
                         "stream-summary"])

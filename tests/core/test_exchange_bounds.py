@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.asketch import ASketch
 from repro.sketches.count_min import CountMinSketch

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.filters import make_filter
@@ -10,7 +9,6 @@ from repro.core.filters.factory import FILTER_KINDS
 from repro.errors import CapacityError, ConfigurationError
 
 ALL_KINDS = sorted(FILTER_KINDS)
-
 
 @pytest.fixture(params=ALL_KINDS)
 def kind(request):

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.asketch import ASketch
 from repro.core.kernel_group import KernelGroup
 from repro.errors import ConfigurationError
 from repro.streams.zipf import zipf_stream
-
 
 @pytest.fixture(scope="module")
 def streams():

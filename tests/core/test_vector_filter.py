@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.filters.vector import VectorFilter
 from repro.simd.engine import numpy_find_index, simd_find_index

@@ -5,8 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.asketch import ASketch
-from repro.counters.space_saving import SpaceSaving
 from repro.errors import ConfigurationError
 from repro.experiments.common import (
     METHOD_LABELS,
@@ -22,8 +20,6 @@ from repro.experiments.common import (
     total_ops,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.sketches.count_min import CountMinSketch
-from repro.sketches.holistic_udaf import HolisticUDAF
 
 CONFIG = ExperimentConfig(scale=0.05, seed=2)
 

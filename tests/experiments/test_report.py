@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cli import main
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import generate_report, write_report

@@ -10,7 +10,6 @@ from repro.hashing import (
     CarterWegmanHash,
     MultiplyShiftHash,
     SignHash,
-    TabulationHash,
     make_hash_family,
 )
 from repro.hashing.families import MERSENNE_PRIME_61, key_to_int

@@ -3,12 +3,10 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.asketch import ASketch
 from repro.counters.exact import ExactCounter
 from repro.experiments import ExperimentConfig, run_experiment
-from repro.streams.zipf import zipf_stream
 
 
 class TestDeterminism:

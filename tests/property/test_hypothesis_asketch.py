@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +18,6 @@ filter_kinds = st.sampled_from(
     ["vector", "strict-heap", "relaxed-heap", "stream-summary"]
 )
 seeds = st.integers(min_value=0, max_value=30)
-
 
 def build(seed: int, kind: str, filter_items: int = 4) -> ASketch:
     sketch = CountMinSketch(num_hashes=3, row_width=19, seed=seed)

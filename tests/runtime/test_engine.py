@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.asketch import ASketch
@@ -10,11 +9,9 @@ from repro.errors import ConfigurationError
 from repro.runtime.engine import StreamEngine, ThresholdAlert, TopKBoard
 from repro.streams.zipf import zipf_stream
 
-
 @pytest.fixture()
 def asketch():
     return ASketch(total_bytes=64 * 1024, filter_items=32, seed=12)
-
 
 @pytest.fixture(scope="module")
 def stream():
@@ -55,8 +52,84 @@ class TestEngine:
 
         sketch = CountMinSketch(8, total_bytes=64 * 1024, seed=13)
         engine = StreamEngine(sketch)
+        assert engine.batched is False  # no process_batch: scalar fallback
         engine.run(stream.chunks(10_000))
         assert sketch.ops.items == len(stream)
+
+
+class TestBatchedIngest:
+    """The engine drives batch-capable synopses through process_batch."""
+
+    def test_asketch_defaults_to_batched(self, asketch):
+        assert StreamEngine(asketch).batched is True
+
+    def test_batched_requires_process_batch(self):
+        from repro.sketches.count_min import CountMinSketch
+
+        sketch = CountMinSketch(8, total_bytes=64 * 1024, seed=14)
+        with pytest.raises(ConfigurationError):
+            StreamEngine(sketch, batched=True)
+
+    def test_scalar_opt_out_matches_reference(self, stream):
+        """batched=False reproduces the per-item reference run exactly."""
+        reference = ASketch(total_bytes=64 * 1024, filter_items=32, seed=12)
+        reference.process_stream(stream.keys)
+        scalar = ASketch(total_bytes=64 * 1024, filter_items=32, seed=12)
+        engine = StreamEngine(scalar, batched=False)
+        assert engine.batched is False
+        engine.run(stream.chunks(5_000))
+        assert {
+            e.key: (e.new_count, e.old_count)
+            for e in reference.filter.entries()
+        } == {
+            e.key: (e.new_count, e.old_count) for e in scalar.filter.entries()
+        }
+
+    def test_batched_ingest_totals_and_stats(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        stats = engine.run(stream.chunks(5_000))
+        assert stats.tuples_ingested == len(stream)
+        assert stats.chunks_ingested == 8
+        assert asketch.total_mass == len(stream)
+        assert asketch.ops.items == len(stream)
+
+    def test_topk_consumer_over_batched_ingest(self, asketch, stream):
+        """The top-k continuous query sees the true heavy hitter through
+        the batched path."""
+        engine = StreamEngine(asketch)
+        board = TopKBoard(asketch, k=5)
+        engine.every(10_000, board)
+        engine.run(stream.chunks(5_000))
+        assert len(board.snapshots) == 4
+        heaviest_true = max(stream.exact.items(), key=lambda kv: kv[1])[0]
+        assert board.latest[0][0] == heaviest_true
+        # Reported counts are one-sided over-estimates of the truth.
+        for key, reported in board.latest:
+            assert reported >= stream.exact.count_of(key)
+
+    def test_threshold_alerts_over_batched_ingest(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        threshold = int(0.01 * len(stream))
+        alert = ThresholdAlert(asketch, threshold)
+        engine.every(5_000, alert)
+        engine.run(stream.chunks(5_000))
+        keys = [key for _, key, _ in alert.alerts]
+        assert len(keys) == len(set(keys))
+        for key, count in stream.exact.items():
+            if count >= threshold:
+                assert key in alert.alerted_keys
+
+    def test_sharded_group_batches_per_shard(self, stream):
+        from repro.runtime.sharding import ShardedASketch
+
+        group = ShardedASketch(shards=4, total_bytes=32 * 1024, seed=3)
+        engine = StreamEngine(group)
+        assert engine.batched is True
+        engine.run(stream.chunks(8_000))
+        assert group.total_mass == len(stream)
+        # Batched owner-partitioned queries agree with scalar routing.
+        probes = stream.keys[:500].tolist()
+        assert group.query_batch(probes) == [group.query(k) for k in probes]
 
 
 class TestTopKBoard:

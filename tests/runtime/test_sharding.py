@@ -2,18 +2,15 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.runtime.sharding import ShardedASketch
 from repro.streams.zipf import zipf_stream
 
-
 @pytest.fixture(scope="module")
 def stream():
     return zipf_stream(40_000, 10_000, 1.5, seed=161)
-
 
 @pytest.fixture()
 def sharded():
