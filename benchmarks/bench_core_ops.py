@@ -17,12 +17,18 @@ import time
 import numpy as np
 import pytest
 
-from repro.core.asketch import ASketch
 from repro.core.filters import make_filter
 from repro.sketches.count_min import CountMinSketch
 from repro.streams.zipf import zipf_stream
+from repro.synopses.spec import SynopsisSpec, build_synopsis
 
 STREAM = zipf_stream(40_000, 10_000, 1.5, seed=61)
+
+#: All ASketch instances in this module are built from this one spec
+#: (per-bench seeds and sizes override via ``with_params``).
+ASKETCH_SPEC = SynopsisSpec(
+    "asketch", {"total_bytes": 128 * 1024, "filter_items": 32}
+)
 
 #: Tiny mode for the CI benchmark-smoke job (see module docstring).
 TINY = os.environ.get("REPRO_BENCH_TINY", "0") not in ("0", "")
@@ -68,7 +74,7 @@ def test_asketch_stream_ingest(benchmark):
     keys = STREAM.keys[:20_000]
 
     def ingest():
-        asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+        asketch = build_synopsis(ASKETCH_SPEC.with_params(seed=64))
         asketch.process_stream(keys)
         return asketch
 
@@ -82,7 +88,7 @@ def test_asketch_batch_ingest(benchmark):
     keys = STREAM.keys[:20_000]
 
     def ingest():
-        asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+        asketch = build_synopsis(ASKETCH_SPEC.with_params(seed=64))
         asketch.process_batch(keys)
         return asketch
 
@@ -97,12 +103,12 @@ def test_asketch_batched_speedup():
     keys = stream.keys
     chunk_size = 100_000
 
-    scalar = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+    scalar = build_synopsis(ASKETCH_SPEC.with_params(seed=64))
     start = time.perf_counter()
     scalar.process_stream(keys)
     scalar_seconds = time.perf_counter() - start
 
-    batched = ASketch(total_bytes=128 * 1024, filter_items=32, seed=64)
+    batched = build_synopsis(ASKETCH_SPEC.with_params(seed=64))
     start = time.perf_counter()
     for offset in range(0, keys.shape[0], chunk_size):
         batched.process_batch(keys[offset : offset + chunk_size])
@@ -119,7 +125,7 @@ def test_asketch_batched_speedup():
 
 
 def test_asketch_query_path(benchmark):
-    asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=65)
+    asketch = build_synopsis(ASKETCH_SPEC.with_params(seed=65))
     asketch.process_stream(STREAM.keys)
     queries = STREAM.keys[:5000].tolist()
 
@@ -133,7 +139,7 @@ def test_asketch_query_path(benchmark):
 def test_asketch_batch_query_path(benchmark):
     """Vectorised point queries (one bulk filter probe + one batched
     sketch read), matching the scalar query bench's workload."""
-    asketch = ASketch(total_bytes=128 * 1024, filter_items=32, seed=65)
+    asketch = build_synopsis(ASKETCH_SPEC.with_params(seed=65))
     asketch.process_batch(STREAM.keys)
     queries = STREAM.keys[:5000]
     benchmark(asketch.query_batch, queries)
@@ -145,7 +151,11 @@ def test_exchange_heavy_path(benchmark):
     keys = rng.integers(0, 50_000, size=10_000, dtype=np.int64)
 
     def ingest():
-        asketch = ASketch(total_bytes=32 * 1024, filter_items=8, seed=67)
+        asketch = build_synopsis(
+            ASKETCH_SPEC.with_params(
+                total_bytes=32 * 1024, filter_items=8, seed=67
+            )
+        )
         asketch.process_stream(keys)
         return asketch
 

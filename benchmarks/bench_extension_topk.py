@@ -11,33 +11,38 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.asketch import ASketch
-from repro.counters.space_saving import SpaceSaving
 from repro.metrics.precision import precision_at_k
-from repro.sketches.hierarchical import HierarchicalCountMin
 from repro.streams.zipf import zipf_stream
+from repro.synopses.spec import SynopsisSpec, build_synopsis
 
 STREAM = zipf_stream(60_000, 16_384, 1.5, seed=101)
 BUDGET = 128 * 1024
 K = 20
 
+ASKETCH_SPEC = SynopsisSpec(
+    "asketch", {"total_bytes": BUDGET, "filter_items": 32, "seed": 1}
+)
+HIERARCHY_SPEC = SynopsisSpec(
+    "hierarchical-count-min",
+    {"domain_bits": 14, "total_bytes": BUDGET, "num_hashes": 4, "seed": 1},
+)
+SPACE_SAVING_SPEC = SynopsisSpec("space-saving", {"total_bytes": BUDGET})
+
 
 def build_asketch():
-    asketch = ASketch(total_bytes=BUDGET, filter_items=32, seed=1)
+    asketch = build_synopsis(ASKETCH_SPEC)
     asketch.process_stream(STREAM.keys)
     return asketch
 
 
 def build_hierarchy():
-    hierarchy = HierarchicalCountMin(
-        14, total_bytes=BUDGET, num_hashes=4, seed=1
-    )
+    hierarchy = build_synopsis(HIERARCHY_SPEC)
     hierarchy.process_stream(STREAM.keys)
     return hierarchy
 
 
 def build_space_saving():
-    summary = SpaceSaving(total_bytes=BUDGET)
+    summary = build_synopsis(SPACE_SAVING_SPEC)
     summary.process_stream(STREAM.keys)
     return summary
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import numpy as np
+
 from repro import (
     ASketch,
     ExactCounter,
@@ -23,6 +25,7 @@ from repro import (
     save_asketch,
     zipf_stream,
 )
+from repro.runtime.sharding import ShardedASketch
 
 SHARDS = 4
 SYNOPSIS_BYTES = 64 * 1024
@@ -80,6 +83,21 @@ def main() -> None:
           f"{len(merged_top & true_top)}/10")
     print("Checkpoints restore bit-for-bit; merging preserves the "
           "one-sided guarantee over the union of all shards.")
+
+    # Alternative: hash-partitioned sharding in one process.  reduce()
+    # collapses the group into a single standalone ASketch without
+    # touching the shards.
+    group = ShardedASketch(
+        shards=SHARDS, total_bytes=SYNOPSIS_BYTES, filter_items=32, seed=7
+    )
+    group.process_stream(
+        np.concatenate([partition.keys for partition in partitions])
+    )
+    reduced = group.reduce()
+    key, count = truth.top_k(1)[0]
+    print(f"\nShardedASketch.reduce(): one ASketch, "
+          f"{reduced.total_mass:,} tuples; top key estimate "
+          f"{reduced.query(key):,} (true {count:,})")
 
 
 if __name__ == "__main__":

@@ -59,9 +59,19 @@ from repro.persistence import (
     load_asketch,
     load_count_min,
     load_hierarchical,
+    load_synopsis,
     save_asketch,
     save_count_min,
     save_hierarchical,
+    save_synopsis,
+)
+from repro.synopses import (
+    Synopsis,
+    SynopsisSpec,
+    SynopsisState,
+    build_synopsis,
+    register_synopsis,
+    registered_kinds,
 )
 from repro.sketches import (
     CountMinSketch,
@@ -105,19 +115,27 @@ __all__ = [
     "StreamSummary",
     "StreamSummaryFilter",
     "StrictHeapFilter",
+    "Synopsis",
+    "SynopsisSpec",
+    "SynopsisState",
     "ThresholdAlert",
     "TopKBoard",
     "VectorFilter",
     "__version__",
+    "build_synopsis",
     "ip_trace_stream",
     "kosarak_stream",
     "load_asketch",
     "load_count_min",
     "load_hierarchical",
+    "load_synopsis",
     "make_filter",
+    "register_synopsis",
+    "registered_kinds",
     "save_asketch",
     "save_count_min",
     "save_hierarchical",
+    "save_synopsis",
     "uniform_stream",
     "zipf_stream",
 ]

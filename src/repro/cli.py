@@ -1,4 +1,4 @@
-"""Command-line interface: list and run the reproduced experiments.
+"""Command-line interface: run experiments, checkpoint and restore synopses.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     repro-asketch run table1
     repro-asketch run figure5 --scale 0.25 --seed 3
     repro-asketch run all --scale 0.1
+    repro-asketch checkpoint asketch.npz --method asketch --skew 1.5
+    repro-asketch restore asketch.npz --top-k 10
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import argparse
 import sys
 import time
 
+import repro
 from repro.errors import ReproError
 from repro.experiments import (
     ExperimentConfig,
@@ -31,6 +34,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction harness for 'Augmented Sketch' (SIGMOD 2016): "
             "regenerate the paper's tables and figures."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -89,7 +97,98 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to these experiment ids",
     )
+
+    checkpoint_parser = subparsers.add_parser(
+        "checkpoint",
+        help="build a method, ingest a Zipf stream, save the synopsis",
+    )
+    checkpoint_parser.add_argument("output", help="output .npz path")
+    checkpoint_parser.add_argument(
+        "--method",
+        default="asketch",
+        help="method id (see experiments) or any registered synopsis kind",
+    )
+    checkpoint_parser.add_argument(
+        "--skew", type=float, default=1.5, help="Zipf skew (default 1.5)"
+    )
+    checkpoint_parser.add_argument("--scale", type=float, default=1.0)
+    checkpoint_parser.add_argument("--seed", type=int, default=0)
+    checkpoint_parser.add_argument("--synopsis-kb", type=int, default=128)
+    checkpoint_parser.add_argument("--filter-items", type=int, default=32)
+    checkpoint_parser.add_argument(
+        "--filter-kind",
+        default="relaxed-heap",
+        choices=["vector", "strict-heap", "relaxed-heap", "stream-summary"],
+    )
+
+    restore_parser = subparsers.add_parser(
+        "restore",
+        help="load a saved synopsis and answer queries from it",
+    )
+    restore_parser.add_argument("input", help="saved .npz path")
+    restore_parser.add_argument(
+        "--top-k",
+        type=int,
+        default=0,
+        help="print the synopsis' top-k items (if it supports top_k)",
+    )
+    restore_parser.add_argument(
+        "--query",
+        type=int,
+        nargs="*",
+        default=None,
+        help="keys to point-query against the restored synopsis",
+    )
     return parser
+
+
+def _run_checkpoint(args: argparse.Namespace) -> int:
+    from repro.persistence import save_synopsis
+    from repro.streams.zipf import zipf_stream
+    from repro.synopses.spec import build_synopsis
+
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        synopsis_bytes=args.synopsis_kb * 1024,
+        filter_items=args.filter_items,
+        filter_kind=args.filter_kind,
+    )
+    spec = config.spec_for(args.method, seed=args.seed)
+    synopsis = build_synopsis(spec)
+    stream = zipf_stream(
+        config.stream_size, config.distinct, args.skew, seed=args.seed
+    )
+    ingest = getattr(synopsis, "process_stream", None)
+    if ingest is not None:
+        ingest(stream.keys)
+    else:
+        for key in stream.keys.tolist():
+            synopsis.update(int(key))
+    save_synopsis(synopsis, args.output)
+    print(
+        f"checkpointed {spec.kind} ({synopsis.size_bytes} bytes, "
+        f"{len(stream)} tuples at skew {args.skew}) to {args.output}"
+    )
+    return 0
+
+
+def _run_restore(args: argparse.Namespace) -> int:
+    from repro.persistence import load_synopsis
+
+    synopsis = load_synopsis(args.input)
+    kind = type(synopsis).SYNOPSIS_KIND
+    print(f"restored {kind} ({synopsis.size_bytes} bytes) from {args.input}")
+    if args.top_k:
+        top_k = getattr(synopsis, "top_k", None)
+        if top_k is None:
+            print(f"{kind} does not answer top-k queries", file=sys.stderr)
+            return 1
+        for rank, (key, count) in enumerate(top_k(args.top_k), start=1):
+            print(f"{rank:3d}. key={key} count={count}")
+    for key in args.query or []:
+        print(f"estimate({key}) = {synopsis.estimate(key)}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,6 +200,15 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in experiment_ids():
             print(f"{experiment_id:10s} {describe(experiment_id)}")
         return 0
+
+    if args.command in ("checkpoint", "restore"):
+        try:
+            if args.command == "checkpoint":
+                return _run_checkpoint(args)
+            return _run_restore(args)
+        except ReproError as exc:
+            print(f"error during {args.command}: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "report":
         from repro.experiments.report import write_report
@@ -122,9 +230,16 @@ def main(argv: list[str] | None = None) -> int:
         filter_kind=args.filter_kind,
         runs=args.runs,
     )
-    targets = (
-        experiment_ids() if args.experiment == "all" else [args.experiment]
-    )
+    known = experiment_ids()
+    targets = known if args.experiment == "all" else [args.experiment]
+    unknown = [target for target in targets if target not in known]
+    if unknown:
+        print(
+            f"unknown experiment id {unknown[0]!r}; "
+            "run 'repro-asketch list' for the available ids",
+            file=sys.stderr,
+        )
+        return 2
     for experiment_id in targets:
         start = time.perf_counter()
         try:

@@ -40,6 +40,13 @@ from repro.sketches.base import FrequencySketch
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.fcm import FrequencyAwareCountMin
+from repro.synopses.protocol import (
+    SynopsisState,
+    pack_nested,
+    prefix_arrays,
+    synopsis_state_of,
+    unpack_nested,
+)
 
 
 def _default_sketch(
@@ -578,6 +585,68 @@ class ASketch:
         spill = amount - resident
         self._sketch.update(key, -spill)
         self._filter.set_counts(key, new_count - amount, old_count - spill)
+
+    # -- synopsis protocol -------------------------------------------------
+
+    SYNOPSIS_KIND = "asketch"
+
+    def state(self) -> SynopsisState:
+        """Filter entries, aggregate masses, and the nested backend state.
+
+        Works for *any* filter kind (the filter contributes its entries)
+        and any backend that implements the synopsis state protocol —
+        backends without it raise a typed
+        :class:`~repro.errors.StreamFormatError`.
+        """
+        sketch_state = synopsis_state_of(self._sketch)
+        keys, new_counts, old_counts = self._filter.state_entries()
+        arrays = {
+            "filter_keys": keys,
+            "filter_new": new_counts,
+            "filter_old": old_counts,
+        }
+        arrays.update(prefix_arrays("sketch", sketch_state.arrays))
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "filter_items": self._filter.capacity,
+                "filter_kind": self.filter_kind,
+                "max_exchanges_per_update": self.max_exchanges_per_update,
+            },
+            arrays=arrays,
+            extra={
+                "total_mass": self.total_mass,
+                "overflow_mass": self.overflow_mass,
+                "miss_events": self.miss_events,
+                "exchanges": self.ops.exchanges,
+                "sketch": pack_nested(sketch_state),
+            },
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "ASketch":
+        from repro.synopses.spec import resolve_kind
+
+        sketch_state = unpack_nested(
+            state.extra["sketch"], state.arrays, "sketch"
+        )
+        backend = resolve_kind(sketch_state.kind).from_state(sketch_state)
+        asketch = cls(
+            sketch=backend,
+            filter_items=state.params["filter_items"],
+            filter_kind=state.params["filter_kind"],
+            max_exchanges_per_update=state.params["max_exchanges_per_update"],
+        )
+        asketch._filter.restore_entries(
+            state.arrays["filter_keys"],
+            state.arrays["filter_new"],
+            state.arrays["filter_old"],
+        )
+        asketch.total_mass = int(state.extra["total_mass"])
+        asketch.overflow_mass = int(state.extra["overflow_mass"])
+        asketch.miss_events = int(state.extra["miss_events"])
+        asketch.ops.exchanges = int(state.extra["exchanges"])
+        return asketch
 
     # -- operation accounting ---------------------------------------------
 

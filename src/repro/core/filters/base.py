@@ -144,6 +144,38 @@ class Filter(ABC):
         counts = self.get_counts(key)
         return None if counts is None else counts[0]
 
+    # -- state capture (synopsis protocol) ----------------------------------
+    #
+    # Every filter kind persists through the same two methods, built on
+    # ``entries()``: the monitored set plus both counts is the complete
+    # logical state, and re-inserting in entries() order rebuilds each
+    # implementation's internal layout (array slots, heap shape, bucket
+    # order) the same way a restart-time replay would.
+
+    def state_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(keys, new_counts, old_counts) arrays in :meth:`entries` order."""
+        entries = self.entries()
+        keys = np.array([e.key for e in entries], dtype=np.int64)
+        new_counts = np.array([e.new_count for e in entries], dtype=np.int64)
+        old_counts = np.array([e.old_count for e in entries], dtype=np.int64)
+        return keys, new_counts, old_counts
+
+    def restore_entries(
+        self,
+        keys: np.ndarray,
+        new_counts: np.ndarray,
+        old_counts: np.ndarray,
+    ) -> None:
+        """Re-monitor saved entries in order (the filter must be empty)."""
+        if len(self):
+            raise CapacityError("restore_entries on a non-empty filter")
+        for key, new_count, old_count in zip(
+            np.asarray(keys).tolist(),
+            np.asarray(new_counts).tolist(),
+            np.asarray(old_counts).tolist(),
+        ):
+            self.insert(int(key), int(new_count), int(old_count))
+
     # -- bulk operations (batched ingest/query path) -----------------------
     #
     # The defaults below loop over the scalar operations, so every filter

@@ -163,6 +163,30 @@ class _HeapFilterBase(Filter):
             for slot in range(self._size)
         ]
 
+    def restore_entries(self, keys, new_counts, old_counts) -> None:
+        """Write saved entries back into their exact heap slots.
+
+        ``entries()`` reports slot order, so direct assignment restores
+        the precise array layout — including any interior violations a
+        relaxed heap had accumulated — which a sift-up replay through
+        ``insert`` would silently repair, changing future eviction
+        tie-breaks.
+        """
+        if self._size:
+            raise CapacityError("restore_entries on a non-empty filter")
+        for slot, (key, new_count, old_count) in enumerate(
+            zip(
+                np.asarray(keys).tolist(),
+                np.asarray(new_counts).tolist(),
+                np.asarray(old_counts).tolist(),
+            )
+        ):
+            self._ids[slot] = int(key) + 1
+            self._new[slot] = int(new_count)
+            self._old[slot] = int(old_count)
+            self._index[int(key)] = slot
+        self._size = len(self._index)
+
     @property
     def id_array(self) -> np.ndarray:
         """Raw id array (SIMD equivalence tests)."""

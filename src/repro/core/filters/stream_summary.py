@@ -16,6 +16,8 @@ Implemented as a thin adapter over
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.filters.base import Filter, FilterEntry
 from repro.counters.stream_summary import StreamSummary
 from repro.errors import CapacityError
@@ -87,3 +89,19 @@ class StreamSummaryFilter(Filter):
             FilterEntry(key, count, old)  # type: ignore[arg-type]
             for key, count, old in self._summary.items()
         ]
+
+    def restore_entries(self, keys, new_counts, old_counts) -> None:
+        """Re-insert saved entries in reverse of :meth:`entries` order.
+
+        ``entries()`` walks buckets head-to-tail and inserts attach at a
+        bucket's head, so reversed replay restores the exact node order —
+        and with it which same-count item a future eviction picks.
+        """
+        if len(self._summary):
+            raise CapacityError("restore_entries on a non-empty filter")
+        for key, new_count, old_count in zip(
+            reversed(np.asarray(keys).tolist()),
+            reversed(np.asarray(new_counts).tolist()),
+            reversed(np.asarray(old_counts).tolist()),
+        ):
+            self._summary.insert(int(key), int(new_count), payload=int(old_count))

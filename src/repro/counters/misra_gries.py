@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import CapacityError
 from repro.hardware.costs import OpCounters
 from repro.simd.engine import simd_probe_blocks
+from repro.synopses.protocol import SynopsisState
 
 
 class MisraGries:
@@ -107,3 +108,81 @@ class MisraGries:
         ]
         pairs.sort(key=lambda pair: pair[1], reverse=True)
         return pairs
+
+    # -- sizing ------------------------------------------------------------
+
+    #: Logical bytes per slot: id + count in the 12-byte array layout the
+    #: cost model prices (same as the ASketch array filters).
+    BYTES_PER_ITEM = 12
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical summary size: ``capacity * BYTES_PER_ITEM``."""
+        return self.capacity * self.BYTES_PER_ITEM
+
+    # -- queries -----------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Monitored undercount of ``key`` (0 when not monitored).
+
+        Always a lower bound: ``estimate(k) <= true count``, with error
+        at most :attr:`total_decrements`.
+        """
+        count = self.count_of(key)
+        return 0 if count is None else count
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MisraGries") -> None:
+        """Fold another summary in by weighted replay.
+
+        Each of ``other``'s monitored (key, count) pairs is replayed as
+        one weighted update; capacity pressure triggers the usual
+        all-counter decrements.  The combined error bound is the sum of
+        both summaries' decrement totals (replay-induced decrements are
+        accumulated by :meth:`update` itself), so monitored counts stay
+        valid undercounts of the concatenated stream.
+        """
+        if not isinstance(other, MisraGries):
+            raise CapacityError(
+                f"cannot merge MisraGries with {type(other).__name__}"
+            )
+        for key, count in other.items():
+            self.update(key, count)
+        self.total_decrements += other.total_decrements
+
+    # -- synopsis protocol ---------------------------------------------------
+
+    SYNOPSIS_KIND = "misra-gries"
+
+    def state(self) -> SynopsisState:
+        """Exact slot-level state, including the free-slot stack order.
+
+        The free list's LIFO order decides which slot a future insert
+        lands in; persisting it verbatim makes the restored summary's
+        slot assignments — and thus its SIMD probe traces — identical.
+        """
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={"capacity": self.capacity},
+            arrays={
+                "ids": self._ids.copy(),
+                "counts": np.array(self._counts, dtype=np.int64),
+                "free": np.array(self._free, dtype=np.int64),
+            },
+            extra={"total_decrements": self.total_decrements},
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "MisraGries":
+        summary = cls(**state.params)
+        summary._ids[:] = state.arrays["ids"]
+        summary._counts = [int(c) for c in state.arrays["counts"].tolist()]
+        summary._free = [int(s) for s in state.arrays["free"].tolist()]
+        summary._index = {
+            int(summary._ids[slot]) - 1: slot
+            for slot in range(summary.capacity)
+            if summary._ids[slot] != 0
+        }
+        summary.total_decrements = int(state.extra["total_decrements"])
+        return summary

@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.counters.stream_summary import StreamSummary
 from repro.hardware.costs import OpCounters
+from repro.synopses.protocol import SynopsisState
 
 #: Logical bytes per monitored item: key, count, error and the four list
 #: pointers of the Stream-Summary node plus its hash-table entry.  This is
@@ -130,3 +131,84 @@ class SpaceSaving:
 
     def __contains__(self, key: int) -> bool:
         return key in self._summary
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "SpaceSaving") -> None:
+        """Fold another summary in, keeping both one-sided guarantees.
+
+        The standard mergeable-summaries construction: each side's
+        estimate for a key it does *not* monitor is its unmonitored
+        bound ``m`` (the minimum count when full, 0 otherwise — no key
+        evicted from a full summary can exceed the minimum).  Every key
+        in the union of monitored sets gets the sum of the two sides'
+        estimates as its count (and of their error bounds as its
+        error); the ``capacity`` largest survive.
+
+        Merely replaying ``other``'s monitored items would lose the
+        mass ``other`` itself evicted: a key monitored here but evicted
+        there would sit below the merged minimum, breaking the
+        never-underestimate convention.  Charging each side's bound to
+        the keys it is missing keeps every monitored count an
+        overestimate of the key's frequency in the concatenated stream,
+        keeps the merged minimum above any fully-unmonitored key's
+        total, and keeps ``guaranteed_count`` (count - error) a valid
+        lower bound — the properties the merge property suite pins.
+        """
+        if not isinstance(other, SpaceSaving):
+            raise ConfigurationError(
+                f"cannot merge SpaceSaving with {type(other).__name__}"
+            )
+        mine = {key: (count, error)
+                for key, count, error in self._summary.items()}
+        theirs = {key: (count, error)
+                  for key, count, error in other._summary.items()}
+        bound_mine = self._summary.min_count if self._summary.is_full else 0
+        bound_theirs = (
+            other._summary.min_count if other._summary.is_full else 0
+        )
+        combined = []
+        for key in mine.keys() | theirs.keys():
+            count_a, error_a = mine.get(key, (bound_mine, bound_mine))
+            count_b, error_b = theirs.get(key, (bound_theirs, bound_theirs))
+            combined.append((key, count_a + count_b, error_a + error_b))
+        combined.sort(key=lambda entry: (-entry[1], entry[0]))
+        self._summary = StreamSummary(self.capacity, ops=self.ops)
+        for key, count, error in reversed(combined[: self.capacity]):
+            self._summary.insert(int(key), int(count), payload=int(error))
+
+    # -- synopsis protocol ---------------------------------------------------
+
+    SYNOPSIS_KIND = "space-saving"
+
+    def state(self) -> SynopsisState:
+        """Monitored (key, count, error) triples in summary order."""
+        items = list(self._summary.items())
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "capacity": self.capacity,
+                "estimate_mode": self.estimate_mode,
+            },
+            arrays={
+                "keys": np.array([k for k, _, _ in items], dtype=np.int64),
+                "counts": np.array([c for _, c, _ in items], dtype=np.int64),
+                "errors": np.array([e for _, _, e in items], dtype=np.int64),
+            },
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "SpaceSaving":
+        summary = cls(**state.params)
+        # items() walks buckets head-to-tail and inserts attach at a
+        # bucket's head, so reversed replay restores the exact node order
+        # (and with it future eviction tie-breaks).
+        for key, count, error in zip(
+            reversed(state.arrays["keys"].tolist()),
+            reversed(state.arrays["counts"].tolist()),
+            reversed(state.arrays["errors"].tolist()),
+        ):
+            summary._summary.insert(
+                int(key), int(count), payload=int(error)
+            )
+        return summary

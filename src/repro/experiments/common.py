@@ -15,16 +15,13 @@ from functools import lru_cache
 import numpy as np
 
 from repro.core.asketch import ASketch
-from repro.counters.space_saving import SpaceSaving
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.hardware.costs import CostModel, OpCounters
 from repro.metrics.error import observed_error_percent
 from repro.queries.workload import frequency_weighted_queries
-from repro.sketches.count_min import CountMinSketch
-from repro.sketches.fcm import FrequencyAwareCountMin
-from repro.sketches.holistic_udaf import HolisticUDAF
 from repro.streams.base import Stream
+from repro.synopses.spec import build_synopsis
 from repro.streams.ip_trace import ip_trace_stream
 from repro.streams.kosarak import kosarak_stream
 from repro.streams.zipf import zipf_stream
@@ -42,48 +39,12 @@ METHOD_LABELS = {
 
 
 def build_method(name: str, config: ExperimentConfig, seed: int = 0):
-    """Instantiate a comparison method at the configured synopsis budget."""
-    total_bytes = config.synopsis_bytes
-    if name == "count-min":
-        return CountMinSketch(
-            num_hashes=config.num_hashes, total_bytes=total_bytes, seed=seed
-        )
-    if name == "fcm":
-        return FrequencyAwareCountMin(
-            num_hashes=config.num_hashes,
-            total_bytes=total_bytes,
-            mg_capacity=config.filter_items,
-            seed=seed,
-        )
-    if name == "holistic-udaf":
-        return HolisticUDAF(
-            config.filter_items,
-            total_bytes=total_bytes,
-            num_hashes=config.num_hashes,
-            seed=seed,
-        )
-    if name == "asketch":
-        return ASketch(
-            total_bytes=total_bytes,
-            filter_items=config.filter_items,
-            filter_kind=config.filter_kind,
-            num_hashes=config.num_hashes,
-            seed=seed,
-        )
-    if name == "asketch-fcm":
-        return ASketch(
-            total_bytes=total_bytes,
-            filter_items=config.filter_items,
-            filter_kind=config.filter_kind,
-            num_hashes=config.num_hashes,
-            sketch_backend="fcm",
-            seed=seed,
-        )
-    if name == "space-saving-min":
-        return SpaceSaving(total_bytes=total_bytes, estimate_mode="min")
-    if name == "space-saving-zero":
-        return SpaceSaving(total_bytes=total_bytes, estimate_mode="zero")
-    raise ConfigurationError(f"unknown method {name!r}")
+    """Instantiate a comparison method at the configured synopsis budget.
+
+    A thin veneer over the spec path: the config names the parameters
+    (:meth:`ExperimentConfig.spec_for`), the registry builds the object.
+    """
+    return build_synopsis(config.spec_for(name, seed=seed))
 
 
 def total_ops(method) -> OpCounters:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
+from repro.synopses.spec import SynopsisSpec
 
 
 @dataclass(frozen=True)
@@ -79,3 +80,66 @@ class ExperimentConfig:
     def with_scale(self, scale: float) -> "ExperimentConfig":
         """A copy at a different scale (benchmarks use small scales)."""
         return replace(self, scale=scale)
+
+    # -- spec-driven construction ------------------------------------------
+
+    def spec_for(self, method: str, seed: int = 0) -> SynopsisSpec:
+        """The synopsis spec for one of the paper's comparison methods.
+
+        Method ids are the keys of
+        :data:`repro.experiments.common.METHOD_LABELS`; the returned spec
+        carries this config's structural parameters (synopsis budget,
+        ``w``, filter sizing) so every construction site — experiments,
+        CLI, benchmarks — builds the same object through
+        :func:`repro.synopses.spec.build_synopsis`.
+        """
+        total_bytes = self.synopsis_bytes
+        if method == "count-min":
+            return SynopsisSpec(
+                "count-min",
+                {
+                    "num_hashes": self.num_hashes,
+                    "total_bytes": total_bytes,
+                    "seed": seed,
+                },
+            )
+        if method == "fcm":
+            return SynopsisSpec(
+                "fcm",
+                {
+                    "num_hashes": self.num_hashes,
+                    "total_bytes": total_bytes,
+                    "mg_capacity": self.filter_items,
+                    "seed": seed,
+                },
+            )
+        if method == "holistic-udaf":
+            return SynopsisSpec(
+                "holistic-udaf",
+                {
+                    "table_items": self.filter_items,
+                    "total_bytes": total_bytes,
+                    "num_hashes": self.num_hashes,
+                    "seed": seed,
+                },
+            )
+        if method in ("asketch", "asketch-fcm"):
+            params = {
+                "total_bytes": total_bytes,
+                "filter_items": self.filter_items,
+                "filter_kind": self.filter_kind,
+                "num_hashes": self.num_hashes,
+                "seed": seed,
+            }
+            if method == "asketch-fcm":
+                params["sketch_backend"] = "fcm"
+            return SynopsisSpec("asketch", params)
+        if method in ("space-saving-min", "space-saving-zero"):
+            return SynopsisSpec(
+                "space-saving",
+                {
+                    "total_bytes": total_bytes,
+                    "estimate_mode": method.rsplit("-", 1)[1],
+                },
+            )
+        raise ConfigurationError(f"unknown method {method!r}")

@@ -4,27 +4,41 @@ Production deployments checkpoint their synopses (collector restarts,
 shard migration).  Because every structure in this library derives its
 hash functions deterministically from ``(seed, dimensions)``, a synopsis
 is fully described by its construction parameters plus its counter
-state; this module saves both in a single ``.npz`` archive and restores
-an object whose future behaviour is identical to the original's.
+state; :func:`save_synopsis` captures both through the synopsis state
+protocol (:mod:`repro.synopses.protocol`) into a single ``.npz``
+archive, and :func:`load_synopsis` restores an object whose future
+behaviour is identical to the original's.
 
-Supported: :class:`~repro.sketches.count_min.CountMinSketch`,
-:class:`~repro.core.asketch.ASketch` (over a Count-Min backend, the
-paper's default configuration) and
-:class:`~repro.sketches.hierarchical.HierarchicalCountMin`.
+Every registered synopsis kind is supported — plain sketches (Count-Min,
+Count Sketch, FCM, Holistic UDAF, hierarchical Count-Min), counter
+summaries (Space Saving, Misra-Gries), :class:`~repro.core.asketch.
+ASketch` over any filter kind and any persistable backend, and
+:class:`~repro.runtime.sharding.ShardedASketch` groups.  The historical
+per-type entry points (``save_count_min`` and friends) remain as thin
+wrappers that additionally pin the archive's kind.
+
+Archive layout (format version 2): one ``metadata`` array holding a
+UTF-8 JSON blob ``{version, kind, params, extra}`` plus the state's
+NumPy arrays stored under ``array.<name>`` keys (nested synopses use
+dotted prefixes inside ``<name>``, e.g. ``array.sketch.table``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
-from repro.core.asketch import ASketch
-from repro.errors import StreamFormatError
-from repro.sketches.count_min import CountMinSketch
+from repro.errors import ConfigurationError, StreamFormatError
+from repro.synopses.protocol import SynopsisState, synopsis_state_of
+from repro.synopses.spec import resolve_kind
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: npz key prefix separating state arrays from the metadata blob.
+_ARRAY_PREFIX = "array."
 
 
 def _pack_metadata(metadata: dict) -> np.ndarray:
@@ -33,171 +47,132 @@ def _pack_metadata(metadata: dict) -> np.ndarray:
 
 def _unpack_metadata(blob: np.ndarray) -> dict:
     try:
-        return json.loads(blob.tobytes().decode("utf-8"))
+        decoded = json.loads(blob.tobytes().decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise StreamFormatError(f"corrupt synopsis metadata: {exc}")
-
-
-def save_count_min(sketch: CountMinSketch, path: str | Path) -> None:
-    """Write a Count-Min sketch (parameters + counters) to ``path``."""
-    metadata = {
-        "version": _FORMAT_VERSION,
-        "kind": "count-min",
-        "num_hashes": sketch.num_hashes,
-        "row_width": sketch.row_width,
-        "seed": sketch.seed,
-        "conservative": sketch.conservative,
-        "hash_family": sketch.hash_family_name,
-    }
-    np.savez_compressed(
-        Path(path),
-        metadata=_pack_metadata(metadata),
-        table=sketch.table,
-    )
-
-
-def load_count_min(path: str | Path) -> CountMinSketch:
-    """Restore a Count-Min sketch saved by :func:`save_count_min`."""
-    with np.load(Path(path)) as archive:
-        metadata = _unpack_metadata(archive["metadata"])
-        _require(metadata, "count-min")
-        sketch = CountMinSketch(
-            num_hashes=metadata["num_hashes"],
-            row_width=metadata["row_width"],
-            seed=metadata["seed"],
-            conservative=metadata["conservative"],
-            hash_family=metadata["hash_family"],
+        raise StreamFormatError(f"corrupt synopsis metadata: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise StreamFormatError(
+            "corrupt synopsis metadata: expected a JSON object, got "
+            f"{type(decoded).__name__}"
         )
-        sketch._table[:] = archive["table"]
-    return sketch
+    return decoded
 
 
-def save_hierarchical(
-    hierarchy: "HierarchicalCountMin", path: str | Path
-) -> None:
-    """Write a hierarchical Count-Min (all level tables) to ``path``."""
-    from repro.sketches.hierarchical import HierarchicalCountMin
+# -- generic entry points ----------------------------------------------------
 
-    assert isinstance(hierarchy, HierarchicalCountMin)
-    level0 = hierarchy._levels[0]
+
+def save_synopsis(synopsis: Any, path: str | Path) -> None:
+    """Write any state-protocol synopsis (parameters + counters) to ``path``.
+
+    Raises :class:`StreamFormatError` for objects that do not implement
+    the synopsis state protocol.
+    """
+    state = synopsis_state_of(synopsis)
     metadata = {
         "version": _FORMAT_VERSION,
-        "kind": "hierarchical-count-min",
-        "domain_bits": hierarchy.domain_bits,
-        "num_hashes": level0.num_hashes,
-        "per_level_bytes": level0.size_bytes,
-        "seed_base": level0.seed // 104_729,
-        "total": hierarchy.total,
+        "kind": state.kind,
+        "params": state.params,
+        "extra": state.extra,
     }
     arrays = {
-        f"level{index}": sketch.table
-        for index, sketch in enumerate(hierarchy._levels)
+        f"{_ARRAY_PREFIX}{name}": array
+        for name, array in state.arrays.items()
     }
     np.savez_compressed(
         Path(path), metadata=_pack_metadata(metadata), **arrays
     )
 
 
-def load_hierarchical(path: str | Path) -> "HierarchicalCountMin":
-    """Restore a hierarchy saved by :func:`save_hierarchical`."""
-    from repro.sketches.hierarchical import HierarchicalCountMin
+def load_synopsis(path: str | Path, *, expect_kind: str | None = None) -> Any:
+    """Restore a synopsis saved by :func:`save_synopsis`.
 
-    with np.load(Path(path)) as archive:
-        metadata = _unpack_metadata(archive["metadata"])
-        _require(metadata, "hierarchical-count-min")
-        levels = metadata["domain_bits"] + 1
-        hierarchy = HierarchicalCountMin(
-            metadata["domain_bits"],
-            total_bytes=metadata["per_level_bytes"] * levels,
-            num_hashes=metadata["num_hashes"],
-            seed=metadata["seed_base"],
-        )
-        for index in range(levels):
-            hierarchy._levels[index]._table[:] = archive[f"level{index}"]
-        hierarchy._total = metadata["total"]
-    return hierarchy
-
-
-def save_asketch(asketch: ASketch, path: str | Path) -> None:
-    """Write an ASketch (filter state + sketch + statistics) to ``path``.
-
-    Only the Count-Min backend is supported (the paper's default); the
-    filter's monitored entries are saved exactly.
+    ``expect_kind`` optionally pins the archive's kind (the legacy
+    wrappers use it); a mismatch raises :class:`StreamFormatError`.
     """
-    sketch = asketch.sketch
-    if not isinstance(sketch, CountMinSketch):
-        raise StreamFormatError(
-            "only ASketch over a Count-Min backend is persistable, got "
-            f"{type(sketch).__name__}"
-        )
-    entries = asketch.filter.entries()
-    metadata = {
-        "version": _FORMAT_VERSION,
-        "kind": "asketch",
-        "filter_kind": asketch.filter_kind,
-        "filter_capacity": asketch.filter.capacity,
-        "max_exchanges_per_update": asketch.max_exchanges_per_update,
-        "total_mass": asketch.total_mass,
-        "overflow_mass": asketch.overflow_mass,
-        "miss_events": asketch.miss_events,
-        "exchanges": asketch.ops.exchanges,
-        "sketch": {
-            "num_hashes": sketch.num_hashes,
-            "row_width": sketch.row_width,
-            "seed": sketch.seed,
-            "conservative": sketch.conservative,
-            "hash_family": sketch.hash_family_name,
-        },
-    }
-    np.savez_compressed(
-        Path(path),
-        metadata=_pack_metadata(metadata),
-        table=sketch.table,
-        filter_keys=np.array([e.key for e in entries], dtype=np.int64),
-        filter_new=np.array([e.new_count for e in entries], dtype=np.int64),
-        filter_old=np.array([e.old_count for e in entries], dtype=np.int64),
-    )
-
-
-def load_asketch(path: str | Path) -> ASketch:
-    """Restore an ASketch saved by :func:`save_asketch`."""
     with np.load(Path(path)) as archive:
+        if "metadata" not in archive:
+            raise StreamFormatError(
+                f"{path} is not a synopsis archive (no metadata entry)"
+            )
         metadata = _unpack_metadata(archive["metadata"])
-        _require(metadata, "asketch")
-        sketch_metadata = metadata["sketch"]
-        sketch = CountMinSketch(
-            num_hashes=sketch_metadata["num_hashes"],
-            row_width=sketch_metadata["row_width"],
-            seed=sketch_metadata["seed"],
-            conservative=sketch_metadata["conservative"],
-            hash_family=sketch_metadata["hash_family"],
+        version = metadata.get("version")
+        if version != _FORMAT_VERSION:
+            raise StreamFormatError(
+                f"unsupported synopsis format version {version!r} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        kind = metadata.get("kind")
+        if not isinstance(kind, str):
+            raise StreamFormatError(
+                f"corrupt synopsis metadata: kind is {kind!r}"
+            )
+        if expect_kind is not None and kind != expect_kind:
+            raise StreamFormatError(
+                f"expected a {expect_kind} archive, found {kind!r}"
+            )
+        try:
+            cls = resolve_kind(kind)
+        except ConfigurationError as exc:
+            raise StreamFormatError(
+                f"archive names unknown synopsis kind {kind!r}"
+            ) from exc
+        arrays = {
+            name[len(_ARRAY_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_ARRAY_PREFIX)
+        }
+        state = SynopsisState(
+            kind=kind,
+            params=dict(metadata.get("params", {})),
+            arrays=arrays,
+            extra=dict(metadata.get("extra", {})),
         )
-        sketch._table[:] = archive["table"]
-        asketch = ASketch(
-            sketch=sketch,
-            filter_items=metadata["filter_capacity"],
-            filter_kind=metadata["filter_kind"],
-            max_exchanges_per_update=metadata["max_exchanges_per_update"],
-        )
-        for key, new_count, old_count in zip(
-            archive["filter_keys"].tolist(),
-            archive["filter_new"].tolist(),
-            archive["filter_old"].tolist(),
-        ):
-            asketch.filter.insert(int(key), int(new_count), int(old_count))
-        asketch.total_mass = metadata["total_mass"]
-        asketch.overflow_mass = metadata["overflow_mass"]
-        asketch.miss_events = metadata["miss_events"]
-        asketch.ops.exchanges = metadata["exchanges"]
-    return asketch
+        return cls.from_state(state)
 
 
-def _require(metadata: dict, kind: str) -> None:
-    if metadata.get("version") != _FORMAT_VERSION:
+# -- legacy per-type wrappers ------------------------------------------------
+
+
+def _require_kind(synopsis: Any, kind: str) -> None:
+    actual = getattr(type(synopsis), "SYNOPSIS_KIND", None)
+    if actual != kind:
         raise StreamFormatError(
-            f"unsupported synopsis format version {metadata.get('version')!r}"
+            f"expected a {kind} synopsis, got {type(synopsis).__name__}"
         )
-    if metadata.get("kind") != kind:
-        raise StreamFormatError(
-            f"expected a {kind} archive, found {metadata.get('kind')!r}"
-        )
+
+
+def save_count_min(sketch: Any, path: str | Path) -> None:
+    """Write a Count-Min sketch to ``path`` (``save_synopsis`` wrapper)."""
+    _require_kind(sketch, "count-min")
+    save_synopsis(sketch, path)
+
+
+def load_count_min(path: str | Path) -> Any:
+    """Restore a Count-Min sketch archive (``load_synopsis`` wrapper)."""
+    return load_synopsis(path, expect_kind="count-min")
+
+
+def save_hierarchical(hierarchy: Any, path: str | Path) -> None:
+    """Write a hierarchical Count-Min (all level tables) to ``path``."""
+    _require_kind(hierarchy, "hierarchical-count-min")
+    save_synopsis(hierarchy, path)
+
+
+def load_hierarchical(path: str | Path) -> Any:
+    """Restore a hierarchy saved by :func:`save_hierarchical`."""
+    return load_synopsis(path, expect_kind="hierarchical-count-min")
+
+
+def save_asketch(asketch: Any, path: str | Path) -> None:
+    """Write an ASketch (filter state + backend + statistics) to ``path``.
+
+    Works for every filter kind and any backend implementing the state
+    protocol (Count-Min, Count Sketch, FCM, ...).
+    """
+    _require_kind(asketch, "asketch")
+    save_synopsis(asketch, path)
+
+
+def load_asketch(path: str | Path) -> Any:
+    """Restore an ASketch saved by :func:`save_asketch`."""
+    return load_synopsis(path, expect_kind="asketch")

@@ -18,6 +18,12 @@ from repro.core.asketch import ASketch
 from repro.errors import ConfigurationError
 from repro.hashing import make_hash_family
 from repro.hashing.families import encode_key_array, key_to_int
+from repro.synopses.protocol import (
+    SynopsisState,
+    pack_nested,
+    prefix_arrays,
+    unpack_nested,
+)
 
 
 class ShardedASketch:
@@ -45,16 +51,25 @@ class ShardedASketch:
     ) -> None:
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.total_bytes = int(total_bytes)
+        self.filter_items = int(filter_items)
+        self.filter_kind = filter_kind
+        self.num_hashes = int(num_hashes)
+        self.seed = int(seed)
         self._router = make_hash_family("carter-wegman", shards, seed + 999)
+        # Every shard shares one sketch seed: key ownership is exclusive,
+        # so shards never alias each other's keys into shared cells, and
+        # identical hash geometry is what lets :meth:`reduce` collapse
+        # the group into a single ASketch by cell-wise sketch addition.
         self._shards = [
             ASketch(
                 total_bytes=total_bytes,
                 filter_items=filter_items,
                 filter_kind=filter_kind,
                 num_hashes=num_hashes,
-                seed=seed * 6151 + index,
+                seed=seed * 6151,
             )
-            for index in range(shards)
+            for _ in range(shards)
         ]
 
     def __len__(self) -> int:
@@ -172,3 +187,77 @@ class ShardedASketch:
     def size_bytes(self) -> int:
         """Total logical bytes across all shards."""
         return sum(shard.size_bytes for shard in self._shards)
+
+    # -- merge / reduce ----------------------------------------------------
+
+    def merge(self, other: "ShardedASketch") -> None:
+        """Shard-wise merge of two groups with identical layout.
+
+        Requires the same shard count and seed (so both groups route any
+        key to the same shard index); each shard pair then merges through
+        :meth:`repro.core.asketch.ASketch.merge`, preserving the
+        one-sided guarantee per partition.  ``other`` is consumed.
+        """
+        if not isinstance(other, ShardedASketch):
+            raise ConfigurationError(
+                f"cannot merge ShardedASketch with {type(other).__name__}"
+            )
+        if len(self) != len(other) or self.seed != other.seed:
+            raise ConfigurationError(
+                "shard groups must share shard count and seed to merge"
+            )
+        for mine, theirs in zip(self._shards, other._shards):
+            mine.merge(theirs)
+
+    def reduce(self) -> ASketch:
+        """Collapse the group into one stand-alone ASketch.
+
+        Non-destructive: every shard is cloned through its state before
+        merging, so the group keeps serving queries afterwards.  The
+        shared sketch seed (see ``__init__``) makes the shards cell-wise
+        mergeable; the result carries the union of the shard filters
+        (capped at one filter's capacity, keeping the highest estimates)
+        and one-sided estimates over the whole routed stream.
+        """
+        clones = [ASketch.from_state(shard.state()) for shard in self._shards]
+        reduced = clones[0]
+        for clone in clones[1:]:
+            reduced.merge(clone)
+        return reduced
+
+    # -- synopsis protocol -------------------------------------------------
+
+    SYNOPSIS_KIND = "sharded-asketch"
+
+    def state(self) -> SynopsisState:
+        """Group parameters plus every shard's nested state."""
+        arrays: dict[str, np.ndarray] = {}
+        shard_metadata = []
+        for index, shard in enumerate(self._shards):
+            shard_state = shard.state()
+            arrays.update(prefix_arrays(f"shard{index}", shard_state.arrays))
+            shard_metadata.append(pack_nested(shard_state))
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "shards": len(self._shards),
+                "total_bytes": self.total_bytes,
+                "filter_items": self.filter_items,
+                "filter_kind": self.filter_kind,
+                "num_hashes": self.num_hashes,
+                "seed": self.seed,
+            },
+            arrays=arrays,
+            extra={"shards": shard_metadata},
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "ShardedASketch":
+        group = cls(**state.params)
+        group._shards = [
+            ASketch.from_state(
+                unpack_nested(metadata, state.arrays, f"shard{index}")
+            )
+            for index, metadata in enumerate(state.extra["shards"])
+        ]
+        return group

@@ -20,6 +20,7 @@ from repro.hardware.costs import OpCounters
 from repro.hashing import make_hash_family
 from repro.hashing.families import encode_key_array, key_to_int
 from repro.sketches.base import CELL_BYTES, FrequencySketch, row_width_for_bytes
+from repro.synopses.protocol import SynopsisState
 
 
 class CountMinSketch(FrequencySketch):
@@ -257,6 +258,31 @@ class CountMinSketch(FrequencySketch):
             )
         self._table += other._table
         self.ops.sketch_cell_writes += self.num_hashes * self.row_width
+
+    # -- synopsis protocol --------------------------------------------------
+
+    SYNOPSIS_KIND = "count-min"
+
+    def state(self) -> SynopsisState:
+        """Full state: construction parameters plus the counter table."""
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "num_hashes": self.num_hashes,
+                "row_width": self.row_width,
+                "seed": self.seed,
+                "conservative": self.conservative,
+                "hash_family": self.hash_family_name,
+            },
+            arrays={"table": self._table.copy()},
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "CountMinSketch":
+        """Rebuild a sketch that continues exactly where ``state`` left off."""
+        sketch = cls(**state.params)
+        sketch._table[:] = state.arrays["table"]
+        return sketch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -20,6 +20,7 @@ from repro.hardware.costs import OpCounters
 from repro.hashing import make_hash_family
 from repro.hashing.families import SignHash, encode_key_array, key_to_int
 from repro.sketches.base import CELL_BYTES, FrequencySketch, row_width_for_bytes
+from repro.synopses.protocol import SynopsisState
 
 
 class CountSketch(FrequencySketch):
@@ -50,6 +51,8 @@ class CountSketch(FrequencySketch):
             )
         self.num_hashes = int(num_hashes)
         self.row_width = int(row_width)
+        self.seed = int(seed)
+        self.hash_family_name = hash_family
         self._table = np.zeros((self.num_hashes, self.row_width), dtype=np.int64)
         self._hashes = [
             make_hash_family(hash_family, self.row_width, seed * 2_000_003 + row)
@@ -128,6 +131,59 @@ class CountSketch(FrequencySketch):
             signs = self._signs[row].hash_array(encoded)
             signed[row] = signs * self._table[row, columns]
         return [int(v) for v in np.median(signed, axis=0)]
+
+    def total_count(self) -> int:
+        """Signed row-0 sum — equals ``N`` only in expectation, kept for
+        parity with the Count-Min interface."""
+        return int(np.abs(self._table[0]).sum())
+
+    # -- merging ----------------------------------------------------------
+
+    def is_mergeable_with(self, other: "CountSketch") -> bool:
+        """Same dimensions and identical bucket *and* sign hashes."""
+        if not isinstance(other, CountSketch):
+            return False
+        if (self.num_hashes, self.row_width) != (
+            other.num_hashes,
+            other.row_width,
+        ):
+            return False
+        probe_keys = (0, 1, 2, 12345, 987654321)
+        return all(
+            self._locate(key) == other._locate(key) for key in probe_keys
+        )
+
+    def merge(self, other: "CountSketch") -> None:
+        """Cell-wise add — Count Sketch is linear, like Count-Min."""
+        if not self.is_mergeable_with(other):
+            raise ConfigurationError(
+                "sketches must share dimensions and hash seeds to merge"
+            )
+        self._table += other._table
+        self.ops.sketch_cell_writes += self.num_hashes * self.row_width
+
+    # -- synopsis protocol --------------------------------------------------
+
+    SYNOPSIS_KIND = "count-sketch"
+
+    def state(self) -> SynopsisState:
+        """Full state: construction parameters plus the signed table."""
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "num_hashes": self.num_hashes,
+                "row_width": self.row_width,
+                "seed": self.seed,
+                "hash_family": self.hash_family_name,
+            },
+            arrays={"table": self._table.copy()},
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "CountSketch":
+        sketch = cls(**state.params)
+        sketch._table[:] = state.arrays["table"]
+        return sketch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,12 @@ from repro.hardware.costs import OpCounters
 from repro.hashing import make_hash_family
 from repro.hashing.families import key_to_int
 from repro.sketches.base import CELL_BYTES, FrequencySketch, row_width_for_bytes
+from repro.synopses.protocol import (
+    SynopsisState,
+    pack_nested,
+    prefix_arrays,
+    unpack_nested,
+)
 
 
 class FrequencyAwareCountMin(FrequencySketch):
@@ -76,6 +82,8 @@ class FrequencyAwareCountMin(FrequencySketch):
             )
         self.ops = OpCounters()
         self.use_mg_counter = bool(use_mg_counter)
+        self.seed = int(seed)
+        self.hash_family_name = hash_family
         self.mg_capacity = int(mg_capacity) if use_mg_counter else 0
         if total_bytes is not None:
             sketch_bytes = total_bytes - self.mg_capacity * self.MG_BYTES_PER_ITEM
@@ -166,6 +174,88 @@ class FrequencyAwareCountMin(FrequencySketch):
         return min(
             int(self._table[row, self._hashes[row](encoded)]) for row in rows
         )
+
+    # -- merging ----------------------------------------------------------
+
+    def is_mergeable_with(self, other: "FrequencyAwareCountMin") -> bool:
+        """Same dimensions, row hashes and row-selection hashes."""
+        if not isinstance(other, FrequencyAwareCountMin):
+            return False
+        if (self.num_hashes, self.row_width, self.use_mg_counter) != (
+            other.num_hashes,
+            other.row_width,
+            other.use_mg_counter,
+        ):
+            return False
+        probe_keys = (0, 1, 2, 12345, 987654321)
+        for key in probe_keys:
+            encoded = key_to_int(key)
+            if self._row_sequence(encoded, self.num_hashes) != (
+                other._row_sequence(encoded, other.num_hashes)
+            ):
+                return False
+            if any(
+                self._hashes[row](encoded) != other._hashes[row](encoded)
+                for row in range(self.num_hashes)
+            ):
+                return False
+        return True
+
+    def merge(self, other: "FrequencyAwareCountMin") -> None:
+        """Cell-wise add the tables and fold the MG classifiers.
+
+        The counter table is linear, so the merged table sees the
+        concatenation of both streams; since every update writes at
+        least the shared ``rows_high`` prefix, the prefix-minimum query
+        stays one-sided after the merge.  Classification is
+        path-dependent, so merged estimates are not bit-identical to a
+        single-sketch run — the one-sided guarantee is what merging
+        preserves.
+        """
+        if not self.is_mergeable_with(other):
+            raise ConfigurationError(
+                "FCM sketches must share dimensions and hash seeds to merge"
+            )
+        self._table += other._table
+        self.ops.sketch_cell_writes += self.num_hashes * self.row_width
+        if self._mg is not None and other._mg is not None:
+            self._mg.merge(other._mg)
+
+    # -- synopsis protocol --------------------------------------------------
+
+    SYNOPSIS_KIND = "fcm"
+
+    def state(self) -> SynopsisState:
+        """Construction parameters, the table, and the nested MG state."""
+        arrays = {"table": self._table.copy()}
+        extra: dict = {}
+        if self._mg is not None:
+            mg_state = self._mg.state()
+            arrays.update(prefix_arrays("mg", mg_state.arrays))
+            extra["mg"] = pack_nested(mg_state)
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "num_hashes": self.num_hashes,
+                "row_width": self.row_width,
+                "mg_capacity": self.mg_capacity,
+                "use_mg_counter": self.use_mg_counter,
+                "seed": self.seed,
+                "hash_family": self.hash_family_name,
+            },
+            arrays=arrays,
+            extra=extra,
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "FrequencyAwareCountMin":
+        sketch = cls(**state.params)
+        sketch._table[:] = state.arrays["table"]
+        if sketch._mg is not None and "mg" in state.extra:
+            mg_state = unpack_nested(state.extra["mg"], state.arrays, "mg")
+            sketch._mg = MisraGries.from_state(mg_state)
+            sketch._mg.ops = sketch.ops
+        return sketch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

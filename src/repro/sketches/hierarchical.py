@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hardware.costs import OpCounters
 from repro.sketches.count_min import CountMinSketch
+from repro.synopses.protocol import SynopsisState
 
 
 class HierarchicalCountMin:
@@ -69,6 +70,9 @@ class HierarchicalCountMin:
             raise ConfigurationError(
                 f"{total_bytes} bytes cannot fund {levels} level sketches"
             )
+        self.num_hashes = int(num_hashes)
+        self.seed = int(seed)
+        self.total_bytes = int(total_bytes)
         self.ops = OpCounters()
         self._levels = [
             CountMinSketch(
@@ -204,3 +208,68 @@ class HierarchicalCountMin:
     def total(self) -> int:
         """Aggregate inserted count."""
         return self._total
+
+    @property
+    def level_sketches(self) -> tuple[CountMinSketch, ...]:
+        """The per-level sketches, level 0 first (read-only tuple)."""
+        return tuple(self._levels)
+
+    # -- merging ----------------------------------------------------------
+
+    def is_mergeable_with(self, other: "HierarchicalCountMin") -> bool:
+        """Same domain and every level sketch pairwise mergeable."""
+        if not isinstance(other, HierarchicalCountMin):
+            return False
+        if self.domain_bits != other.domain_bits:
+            return False
+        return all(
+            mine.is_mergeable_with(theirs)
+            for mine, theirs in zip(self._levels, other._levels)
+        )
+
+    def merge(self, other: "HierarchicalCountMin") -> None:
+        """Level-wise cell addition — the hierarchy inherits Count-Min
+        linearity, so every dyadic range estimate stays one-sided for
+        the concatenated stream."""
+        if not self.is_mergeable_with(other):
+            raise ConfigurationError(
+                "hierarchies must share domain and hash seeds to merge"
+            )
+        for mine, theirs in zip(self._levels, other._levels):
+            mine.merge(theirs)
+        self._total += other._total
+
+    # -- synopsis protocol --------------------------------------------------
+
+    SYNOPSIS_KIND = "hierarchical-count-min"
+
+    def state(self) -> SynopsisState:
+        """Constructor parameters (including the *base* seed, verbatim)
+        plus one table array per dyadic level."""
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "domain_bits": self.domain_bits,
+                "total_bytes": self.total_bytes,
+                "num_hashes": self.num_hashes,
+                "seed": self.seed,
+            },
+            arrays={
+                f"level{index}.table": sketch.table.copy()
+                for index, sketch in enumerate(self._levels)
+            },
+            extra={"total": self._total},
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "HierarchicalCountMin":
+        hierarchy = cls(
+            state.params["domain_bits"],
+            total_bytes=state.params["total_bytes"],
+            num_hashes=state.params["num_hashes"],
+            seed=state.params["seed"],
+        )
+        for index, sketch in enumerate(hierarchy._levels):
+            sketch._table[:] = state.arrays[f"level{index}.table"]
+        hierarchy._total = int(state.extra["total"])
+        return hierarchy

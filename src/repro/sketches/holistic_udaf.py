@@ -27,6 +27,12 @@ from repro.hardware.costs import OpCounters
 from repro.simd.engine import simd_probe_blocks
 from repro.sketches.base import FrequencySketch
 from repro.sketches.count_min import CountMinSketch
+from repro.synopses.protocol import (
+    SynopsisState,
+    pack_nested,
+    prefix_arrays,
+    unpack_nested,
+)
 
 #: Logical bytes per table slot (id + count + padding; the array layout).
 TABLE_BYTES_PER_ITEM = 12
@@ -66,6 +72,9 @@ class HolisticUDAF(FrequencySketch):
                 "aggregate table does not fit in the byte budget"
             )
         self.table_items = int(table_items)
+        self.total_bytes = int(total_bytes)
+        self.seed = int(seed)
+        self.hash_family_name = hash_family
         self.sketch = CountMinSketch(
             num_hashes=num_hashes,
             total_bytes=sketch_bytes,
@@ -152,6 +161,83 @@ class HolisticUDAF(FrequencySketch):
         self._charge_probe()
         pending = self._table.get(key, 0)
         return self.sketch.estimate(key) + pending
+
+    # -- merging ----------------------------------------------------------
+
+    def merge(self, other: "HolisticUDAF") -> None:
+        """Flush both pending tables, then cell-wise merge the sketches.
+
+        Post-merge estimates summarise the concatenation of both streams
+        with the underlying Count-Min one-sided guarantee; they are not
+        bit-identical to a single-instance run because flush boundaries
+        differ (the table is transient by design, so only the sketch's
+        guarantee is preserved — the same reason §7.2.1 ties Holistic
+        UDAF accuracy to the backing sketch's).
+        """
+        if not isinstance(other, HolisticUDAF):
+            raise ConfigurationError(
+                f"cannot merge HolisticUDAF with {type(other).__name__}"
+            )
+        self.flush()
+        other.flush()
+        self.sketch.merge(other.sketch)
+
+    # -- synopsis protocol --------------------------------------------------
+
+    SYNOPSIS_KIND = "holistic-udaf"
+
+    def state(self) -> SynopsisState:
+        """Nested sketch state plus the pending table in insertion order.
+
+        Insertion order matters: the next spill flushes the table dict in
+        that order, so restoring it verbatim keeps flush traces identical.
+        """
+        sketch_state = self.sketch.state()
+        arrays = {
+            "table_keys": np.array(list(self._table.keys()), dtype=np.int64),
+            "table_counts": np.array(
+                list(self._table.values()), dtype=np.int64
+            ),
+        }
+        arrays.update(prefix_arrays("sketch", sketch_state.arrays))
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "table_items": self.table_items,
+                "total_bytes": self.total_bytes,
+                "num_hashes": self.sketch.num_hashes,
+                "seed": self.seed,
+                "hash_family": self.hash_family_name,
+            },
+            arrays=arrays,
+            extra={
+                "flush_count": self.flush_count,
+                "sketch": pack_nested(sketch_state),
+            },
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "HolisticUDAF":
+        udaf = cls(
+            state.params["table_items"],
+            total_bytes=state.params["total_bytes"],
+            num_hashes=state.params["num_hashes"],
+            seed=state.params["seed"],
+            hash_family=state.params["hash_family"],
+        )
+        sketch_state = unpack_nested(
+            state.extra["sketch"], state.arrays, "sketch"
+        )
+        udaf.sketch = CountMinSketch.from_state(sketch_state)
+        udaf._table = {
+            int(key): int(count)
+            for key, count in zip(
+                state.arrays["table_keys"].tolist(),
+                state.arrays["table_counts"].tolist(),
+            )
+        }
+        udaf.flush_count = int(state.extra["flush_count"])
+        return udaf
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

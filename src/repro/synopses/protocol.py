@@ -1,0 +1,162 @@
+"""The mergeable-synopsis protocol every summary implements.
+
+The paper positions ASketch as a front-end over *any* sketch (§3,
+Figure 1); operationally a production collector needs the same
+uniformity for three capabilities that used to be per-type special
+cases:
+
+* **state** — :meth:`Synopsis.state` captures a summary as a
+  :class:`SynopsisState` (construction parameters + counter arrays +
+  mutable scalars) and the classmethod ``from_state`` rebuilds an
+  object whose future behaviour is identical.  This is the substrate of
+  the generic ``save_synopsis`` / ``load_synopsis`` pair in
+  :mod:`repro.persistence` — no more reaching into private fields.
+* **merge** — linear sketches add cell-wise, counter summaries fold via
+  weighted replay, ASketch folds one filter into the other through the
+  exchange machinery.  What "merge" *means* per family is documented on
+  each implementation (and in DESIGN.md §8).
+* **spec** — :class:`repro.synopses.spec.SynopsisSpec` names a kind and
+  its construction parameters declaratively, so CLIs, experiment
+  configs, shard groups and benchmarks all construct through one
+  registry-backed factory.
+
+The protocol is structural (:class:`typing.Protocol`): a class opts in
+by implementing the members, not by inheriting a base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import StreamFormatError
+
+
+@dataclass
+class SynopsisState:
+    """A synopsis captured as data: everything needed to rebuild it.
+
+    Attributes
+    ----------
+    kind:
+        The registry name of the synopsis type (see
+        :mod:`repro.synopses.spec`).
+    params:
+        JSON-safe construction parameters — passing them as keyword
+        arguments to the type's constructor yields an empty synopsis of
+        identical geometry (dimensions, seeds, hash functions).
+    arrays:
+        The counter state as named NumPy arrays.  Nested synopses
+        (ASketch's backend, a shard group's shards) flatten their
+        children's arrays under dotted prefixes via :func:`prefix_arrays`.
+    extra:
+        JSON-safe mutable scalars and nested-child metadata (aggregate
+        masses, statistics, child ``params``/``extra`` dicts).
+    """
+
+    kind: str
+    params: dict[str, Any]
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Synopsis(Protocol):
+    """Structural interface of a mergeable, persistable stream summary.
+
+    Every registered synopsis type (see
+    :func:`repro.synopses.spec.registered_kinds`) satisfies this
+    protocol: point updates and queries, byte-accurate sizing, full
+    state capture/restore, and same-geometry merging.
+    """
+
+    #: Registry name of the type (matches its spec/state ``kind``).
+    SYNOPSIS_KIND: str
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical synopsis size in bytes (paper accounting)."""
+        ...
+
+    def update(self, key: int, amount: int = 1) -> int | None:
+        """Add ``amount`` occurrences of ``key``."""
+        ...
+
+    def estimate(self, key: int) -> int:
+        """Approximate frequency of ``key``."""
+        ...
+
+    def state(self) -> SynopsisState:
+        """Capture the full state (parameters + counters)."""
+        ...
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "Synopsis":
+        """Rebuild a synopsis whose future behaviour matches the original."""
+        ...
+
+    def merge(self, other: Any) -> None:
+        """Fold another same-geometry synopsis of this type into this one."""
+        ...
+
+
+def synopsis_state_of(synopsis: Any) -> SynopsisState:
+    """``synopsis.state()`` with a typed error for non-protocol objects."""
+    state_method = getattr(synopsis, "state", None)
+    if not callable(state_method):
+        raise StreamFormatError(
+            f"{type(synopsis).__name__} does not implement the synopsis "
+            "state protocol (no state() method)"
+        )
+    state = state_method()
+    if not isinstance(state, SynopsisState):
+        raise StreamFormatError(
+            f"{type(synopsis).__name__}.state() returned "
+            f"{type(state).__name__}, expected SynopsisState"
+        )
+    return state
+
+
+# -- nesting helpers --------------------------------------------------------
+
+
+def prefix_arrays(
+    prefix: str, arrays: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Flatten a child state's arrays under ``"<prefix>.<name>"`` keys."""
+    return {f"{prefix}.{name}": array for name, array in arrays.items()}
+
+
+def unprefix_arrays(
+    prefix: str, arrays: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Recover a child's arrays from its dotted-prefix namespace."""
+    marker = f"{prefix}."
+    return {
+        name[len(marker):]: array
+        for name, array in arrays.items()
+        if name.startswith(marker)
+    }
+
+
+def pack_nested(state: SynopsisState) -> dict[str, Any]:
+    """The JSON-safe half of a child state (for a parent's ``extra``)."""
+    return {
+        "kind": state.kind,
+        "params": state.params,
+        "extra": state.extra,
+    }
+
+
+def unpack_nested(
+    metadata: dict[str, Any], arrays: dict[str, np.ndarray], prefix: str
+) -> SynopsisState:
+    """Reassemble a child state from parent metadata + prefixed arrays."""
+    return SynopsisState(
+        kind=metadata["kind"],
+        params=dict(metadata.get("params", {})),
+        arrays=unprefix_arrays(prefix, arrays),
+        extra=dict(metadata.get("extra", {})),
+    )

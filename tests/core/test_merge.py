@@ -108,13 +108,32 @@ class TestASketchMerge:
         with pytest.raises(ConfigurationError):
             left.merge(right)
 
-    def test_unsupported_backend_rejected(self, two_streams):
+    def test_count_sketch_backend_merges(self, two_streams):
+        """Count Sketch gained merge support; mass flows into one synopsis."""
+        first, second = two_streams
         left = ASketch(
             total_bytes=32 * 1024, sketch_backend="count-sketch", seed=1
         )
         right = ASketch(
             total_bytes=32 * 1024, sketch_backend="count-sketch", seed=1
         )
+        left.process_stream(first.keys)
+        right.process_stream(second.keys)
+        left.merge(right)
+        assert left.total_mass == len(first) + len(second)
+
+    def test_merge_less_backend_rejected(self):
+        class OpaqueSketch:
+            size_bytes = 0
+
+            def update(self, key, amount=1):
+                return 0
+
+            def estimate(self, key):
+                return 0
+
+        left = ASketch(sketch=OpaqueSketch(), filter_items=8)
+        right = ASketch(sketch=OpaqueSketch(), filter_items=8)
         with pytest.raises(ConfigurationError):
             left.merge(right)
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -108,10 +110,34 @@ class TestASketchRoundtrip:
             for e in asketch.filter.entries()
         }
 
-    def test_non_count_min_backend_rejected(self, tmp_path):
+    @pytest.mark.parametrize("backend", ["count-sketch", "fcm"])
+    def test_non_count_min_backends_roundtrip(
+        self, stream, tmp_path, backend
+    ):
+        """Every state-protocol backend is persistable, not just Count-Min."""
         asketch = ASketch(
-            total_bytes=32 * 1024, sketch_backend="count-sketch"
+            total_bytes=32 * 1024, filter_items=8,
+            sketch_backend=backend, seed=3,
         )
+        asketch.process_stream(stream.keys[:5000])
+        path = tmp_path / "asketch.npz"
+        save_asketch(asketch, path)
+        restored = load_asketch(path)
+        assert type(restored.sketch) is type(asketch.sketch)
+        probe = stream.keys[:200]
+        assert restored.query_batch(probe) == asketch.query_batch(probe)
+
+    def test_backend_without_state_protocol_rejected(self, tmp_path):
+        class OpaqueSketch:
+            size_bytes = 0
+
+            def update(self, key, amount=1):
+                return 0
+
+            def estimate(self, key):
+                return 0
+
+        asketch = ASketch(sketch=OpaqueSketch(), filter_items=8)
         with pytest.raises(StreamFormatError):
             save_asketch(asketch, tmp_path / "x.npz")
 
@@ -154,6 +180,12 @@ class TestHierarchicalRoundtrip:
             assert restored.estimate(key) == hierarchy.estimate(key)
 
 
+def _write_archive(path, metadata: dict, **arrays) -> None:
+    """Forge a raw archive to exercise the loader's error paths."""
+    blob = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, metadata=blob, **arrays)
+
+
 class TestErrorHandling:
     def test_kind_mismatch(self, tmp_path):
         sketch = CountMinSketch(4, row_width=64)
@@ -170,3 +202,70 @@ class TestErrorHandling:
         save_count_min(sketch, path)
         with pytest.raises(StreamFormatError):
             load_hierarchical(path)
+
+    def test_save_wrapper_rejects_wrong_type(self, tmp_path):
+        sketch = CountMinSketch(4, row_width=64)
+        with pytest.raises(StreamFormatError, match="expected a asketch"):
+            save_asketch(sketch, tmp_path / "x.npz")
+
+    def test_save_synopsis_rejects_non_synopsis(self, tmp_path):
+        from repro.persistence import save_synopsis
+
+        with pytest.raises(StreamFormatError):
+            save_synopsis(object(), tmp_path / "x.npz")
+
+    def test_missing_metadata_entry(self, tmp_path):
+        from repro.persistence import load_synopsis
+
+        path = tmp_path / "bare.npz"
+        np.savez_compressed(path, table=np.zeros(4, dtype=np.int64))
+        with pytest.raises(StreamFormatError, match="no metadata entry"):
+            load_synopsis(path)
+
+    def test_corrupt_metadata_blob(self, tmp_path):
+        from repro.persistence import load_synopsis
+
+        path = tmp_path / "corrupt.npz"
+        garbage = np.frombuffer(b"\xfe\xed{{{not json", dtype=np.uint8)
+        np.savez_compressed(path, metadata=garbage)
+        with pytest.raises(StreamFormatError, match="corrupt") as excinfo:
+            load_synopsis(path)
+        assert excinfo.value.__cause__ is not None
+
+    def test_metadata_not_an_object(self, tmp_path):
+        from repro.persistence import load_synopsis
+
+        path = tmp_path / "list.npz"
+        blob = np.frombuffer(b"[1, 2, 3]", dtype=np.uint8)
+        np.savez_compressed(path, metadata=blob)
+        with pytest.raises(StreamFormatError, match="expected a JSON object"):
+            load_synopsis(path)
+
+    def test_unsupported_version(self, tmp_path):
+        from repro.persistence import load_synopsis
+
+        path = tmp_path / "future.npz"
+        _write_archive(
+            path, {"version": 99, "kind": "count-min", "params": {}}
+        )
+        with pytest.raises(StreamFormatError, match="version 99"):
+            load_synopsis(path)
+
+    def test_unknown_kind(self, tmp_path):
+        from repro.persistence import load_synopsis
+
+        path = tmp_path / "alien.npz"
+        _write_archive(
+            path,
+            {"version": 2, "kind": "bloom-filter", "params": {}, "extra": {}},
+        )
+        with pytest.raises(StreamFormatError, match="unknown synopsis kind"):
+            load_synopsis(path)
+
+    def test_non_string_kind(self, tmp_path):
+        from repro.persistence import load_synopsis
+
+        path = tmp_path / "badkind.npz"
+        _write_archive(path, {"version": 2, "kind": 7, "params": {}})
+        with pytest.raises(StreamFormatError, match="kind is 7"):
+            load_synopsis(path)

@@ -25,10 +25,13 @@ class TestRun:
         assert "|F|=32" in out
 
     def test_unknown_experiment_errors(self, capsys):
+        """Unknown ids fail fast with a one-line error, before any work."""
         code = main(["run", "figure99"])
         err = capsys.readouterr().err
-        assert code == 1
+        assert code == 2
         assert "figure99" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
 
     def test_options_forwarded(self, capsys):
         code = main(
@@ -42,3 +45,76 @@ class TestRun:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_asketch(self, capsys, tmp_path):
+        path = tmp_path / "asketch.npz"
+        code = main(
+            ["checkpoint", str(path), "--method", "asketch",
+             "--scale", "0.05", "--synopsis-kb", "32"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpointed asketch" in out
+        assert path.exists()
+
+        code = main(["restore", str(path), "--top-k", "5", "--query", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restored asketch" in out
+        assert "  1. key=" in out
+        assert "estimate(1) = " in out
+
+    def test_checkpoint_any_registered_kind(self, capsys, tmp_path):
+        path = tmp_path / "ss.npz"
+        code = main(
+            ["checkpoint", str(path), "--method", "space-saving-min",
+             "--scale", "0.05"]
+        )
+        assert code == 0
+        assert "checkpointed space-saving" in capsys.readouterr().out
+        code = main(["restore", str(path), "--top-k", "3"])
+        assert code == 0
+        assert "restored space-saving" in capsys.readouterr().out
+
+    def test_checkpoint_unknown_method(self, capsys, tmp_path):
+        code = main(
+            ["checkpoint", str(tmp_path / "x.npz"), "--method", "bloom"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "bloom" in err
+
+    def test_restore_missing_metadata(self, capsys, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bare.npz"
+        np.savez_compressed(path, table=np.zeros(4, dtype=np.int64))
+        code = main(["restore", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error during restore" in err
+
+    def test_restore_top_k_unsupported(self, capsys, tmp_path):
+        path = tmp_path / "cms.npz"
+        code = main(
+            ["checkpoint", str(path), "--method", "count-min",
+             "--scale", "0.05"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["restore", str(path), "--top-k", "5"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "does not answer top-k" in captured.err
