@@ -50,7 +50,13 @@ from repro.hardware import (
     SpmdModel,
 )
 from repro.runtime import (
+    CheckpointStore,
+    FaultPlan,
+    ResilientEngine,
+    RetryingSource,
+    RetryPolicy,
     ShardedASketch,
+    ShardSupervisor,
     StreamEngine,
     ThresholdAlert,
     TopKBoard,
@@ -92,11 +98,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ASketch",
+    "CheckpointStore",
     "CostModel",
     "CountMinSketch",
     "CountSketch",
     "EventDrivenPipeline",
     "ExactCounter",
+    "FaultPlan",
     "FrequencyAwareCountMin",
     "HierarchicalCountMin",
     "HolisticUDAF",
@@ -106,6 +114,10 @@ __all__ = [
     "OpCounters",
     "PipelineSimulator",
     "RelaxedHeapFilter",
+    "ResilientEngine",
+    "RetryPolicy",
+    "RetryingSource",
+    "ShardSupervisor",
     "ShardedASketch",
     "SlidingWindowASketch",
     "SpaceSaving",

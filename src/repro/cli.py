@@ -6,8 +6,26 @@ Usage::
     repro-asketch run table1
     repro-asketch run figure5 --scale 0.25 --seed 3
     repro-asketch run all --scale 0.1
+    repro-asketch run asketch --checkpoint-dir ckpts --checkpoint-every 8
+    repro-asketch resume ckpts --top-k 10
     repro-asketch checkpoint asketch.npz --method asketch --skew 1.5
     repro-asketch restore asketch.npz --top-k 10
+
+With ``--checkpoint-dir``, ``run`` switches from the experiment harness
+to a fault-tolerant streaming ingest: the positional argument names a
+*method/synopsis* (``asketch``, ``count-min``, ...), a Zipf stream is
+driven through :class:`repro.runtime.reliability.ResilientEngine` with
+atomic checkpoints every ``--checkpoint-every`` chunks, and the run's
+parameters are recorded in a ``run-manifest.json`` inside the
+checkpoint directory.  After a crash, ``resume <dir>`` re-reads the
+manifest, restores the newest valid checkpoint generation (falling back
+one generation if the latest is corrupt), and replays exactly the
+un-checkpointed suffix of the stream.
+
+``resume`` exit codes: ``0`` — recovered and finished; ``1`` —
+recovery failed (all checkpoint generations corrupt, or an error while
+replaying); ``2`` — usage error (missing checkpoint directory or
+``run-manifest.json``).
 """
 
 from __future__ import annotations
@@ -83,6 +101,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5,
         help="repetitions for max-over-runs experiments (paper uses 100)",
     )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "enable fault-tolerant streaming ingest: treat the positional "
+            "argument as a method id, ingest a Zipf stream through the "
+            "resilient engine, and checkpoint into this directory"
+        ),
+    )
+    run_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help="chunks between checkpoints (with --checkpoint-dir; default 8)",
+    )
+    run_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=10_000,
+        help="ingest chunk size in tuples (with --checkpoint-dir)",
+    )
+    run_parser.add_argument(
+        "--skew",
+        type=float,
+        default=1.5,
+        help="Zipf skew of the ingested stream (with --checkpoint-dir)",
+    )
 
     report_parser = subparsers.add_parser(
         "report",
@@ -121,6 +166,30 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["vector", "strict-heap", "relaxed-heap", "stream-summary"],
     )
 
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help=(
+            "recover a crashed 'run --checkpoint-dir' ingest from its "
+            "newest valid checkpoint and finish the stream"
+        ),
+    )
+    resume_parser.add_argument(
+        "checkpoint_dir", help="checkpoint directory of the interrupted run"
+    )
+    resume_parser.add_argument(
+        "--top-k",
+        type=int,
+        default=0,
+        help="after recovery, print the synopsis' top-k items",
+    )
+    resume_parser.add_argument(
+        "--query",
+        type=int,
+        nargs="*",
+        default=None,
+        help="keys to point-query after recovery",
+    )
+
     restore_parser = subparsers.add_parser(
         "restore",
         help="load a saved synopsis and answer queries from it",
@@ -140,6 +209,135 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keys to point-query against the restored synopsis",
     )
     return parser
+
+
+_MANIFEST_NAME = "run-manifest.json"
+
+
+def _manifest_config(manifest: dict) -> "ExperimentConfig":
+    return ExperimentConfig(
+        scale=float(manifest["scale"]),
+        seed=int(manifest["seed"]),
+        synopsis_bytes=int(manifest["synopsis_kb"]) * 1024,
+        filter_items=int(manifest["filter_items"]),
+        filter_kind=manifest["filter_kind"],
+    )
+
+
+def _manifest_stream(manifest: dict):
+    from repro.streams.zipf import zipf_stream
+
+    config = _manifest_config(manifest)
+    return zipf_stream(
+        config.stream_size,
+        config.distinct,
+        float(manifest["skew"]),
+        seed=int(manifest["seed"]),
+    )
+
+
+def _print_ingest_summary(engine, stats) -> None:
+    health = engine.health()
+    checkpoint = health["checkpoint"] or {}
+    print(
+        f"ingested {stats.tuples_ingested} tuples in "
+        f"{stats.chunks_ingested} chunks "
+        f"({stats.wall_throughput_items_per_ms:.0f} items/ms ingest-only); "
+        f"last checkpoint generation {checkpoint.get('generation', '-')} at "
+        f"chunk {checkpoint.get('chunk_index', '-')}; "
+        f"status {health['status']}"
+    )
+
+
+def _run_resilient(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.runtime.reliability import ResilientEngine
+    from repro.synopses.spec import build_synopsis
+
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        synopsis_bytes=args.synopsis_kb * 1024,
+        filter_items=args.filter_items,
+        filter_kind=args.filter_kind,
+    )
+    spec = config.spec_for(args.experiment, seed=args.seed)
+    synopsis = build_synopsis(spec)
+    manifest = {
+        "method": args.experiment,
+        "scale": args.scale,
+        "seed": args.seed,
+        "skew": args.skew,
+        "synopsis_kb": args.synopsis_kb,
+        "filter_items": args.filter_items,
+        "filter_kind": args.filter_kind,
+        "chunk_size": args.chunk_size,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    directory = Path(args.checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / _MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    engine = ResilientEngine(
+        synopsis,
+        checkpoint_dir=directory,
+        checkpoint_every=args.checkpoint_every,
+    )
+    stream = _manifest_stream(manifest)
+    stats = engine.run(stream.chunks(args.chunk_size))
+    _print_ingest_summary(engine, stats)
+    return 0
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.runtime.reliability import ResilientEngine
+
+    directory = Path(args.checkpoint_dir)
+    manifest_path = directory / _MANIFEST_NAME
+    if not directory.is_dir() or not manifest_path.is_file():
+        print(
+            f"{directory} is not a checkpoint directory "
+            f"(no {_MANIFEST_NAME}); start one with "
+            "'repro-asketch run <method> --checkpoint-dir ...'",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable {_MANIFEST_NAME}: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.synopses.spec import build_synopsis
+
+    config = _manifest_config(manifest)
+    spec = config.spec_for(manifest["method"], seed=int(manifest["seed"]))
+    engine = ResilientEngine(
+        build_synopsis(spec),  # fresh fallback if no checkpoint was reached
+        checkpoint_dir=directory,
+        checkpoint_every=int(manifest["checkpoint_every"]),
+    )
+    stream = _manifest_stream(manifest)
+    stats = engine.resume(stream.chunks(int(manifest["chunk_size"])))
+    _print_ingest_summary(engine, stats)
+    synopsis = engine.synopsis
+    if args.top_k:
+        top_k = getattr(synopsis, "top_k", None)
+        if top_k is None:
+            kind = type(synopsis).SYNOPSIS_KIND
+            print(f"{kind} does not answer top-k queries", file=sys.stderr)
+            return 1
+        for rank, (key, count) in enumerate(top_k(args.top_k), start=1):
+            print(f"{rank:3d}. key={key} count={count}")
+    for key in args.query or []:
+        print(f"estimate({key}) = {synopsis.estimate(key)}")
+    return 0
 
 
 def _run_checkpoint(args: argparse.Namespace) -> int:
@@ -201,10 +399,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:10s} {describe(experiment_id)}")
         return 0
 
-    if args.command in ("checkpoint", "restore"):
+    if args.command in ("checkpoint", "restore", "resume"):
         try:
             if args.command == "checkpoint":
                 return _run_checkpoint(args)
+            if args.command == "resume":
+                return _run_resume(args)
             return _run_restore(args)
         except ReproError as exc:
             print(f"error during {args.command}: {exc}", file=sys.stderr)
@@ -221,6 +421,13 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"report written to {path}")
         return 0
+
+    if args.checkpoint_dir is not None:
+        try:
+            return _run_resilient(args)
+        except ReproError as exc:
+            print(f"error during resilient run: {exc}", file=sys.stderr)
+            return 1
 
     config = ExperimentConfig(
         scale=args.scale,

@@ -46,3 +46,67 @@ class UnknownExperimentError(ReproError):
 
 class StreamFormatError(ReproError):
     """A stream file on disk is malformed or from an incompatible version."""
+
+
+class TransientSourceError(ReproError):
+    """A chunk source failed in a way that is expected to heal on retry.
+
+    The canonical producer is an unreliable transport (socket hiccup,
+    NFS stall); :class:`~repro.runtime.reliability.RetryingSource`
+    retries these with exponential backoff before giving up.  The
+    fault-injection harness raises it deterministically to exercise the
+    retry path.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A retryable source error persisted past its retry budget.
+
+    Raised by :class:`~repro.runtime.reliability.RetryingSource` after
+    the per-error-class :class:`~repro.runtime.reliability.RetryPolicy`
+    allowance is spent; the final underlying failure is chained as
+    ``__cause__``.  Attributes: ``chunk_index`` (0-based index of the
+    chunk being fetched), ``attempts`` (total fetch attempts made).
+    """
+
+    def __init__(self, message: str, *, chunk_index: int, attempts: int) -> None:
+        super().__init__(message)
+        self.chunk_index = chunk_index
+        self.attempts = attempts
+
+
+class PoisonChunkError(ReproError):
+    """An ingest chunk failed validation and must not reach a synopsis.
+
+    Covers payloads the integer-keyed turnstile model cannot represent:
+    float or object dtypes (silent ``int64`` coercion would truncate
+    fractional keys), NaN/inf keys, non-1-D shapes, and negative counts
+    outside the strict-turnstile model.  Attributes: ``chunk_index``
+    (0-based position of the offending chunk in the source), ``reason``
+    (human-readable validation failure).
+    """
+
+    def __init__(self, reason: str, *, chunk_index: int) -> None:
+        super().__init__(f"poison chunk {chunk_index}: {reason}")
+        self.chunk_index = chunk_index
+        self.reason = reason
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a usable checkpoint.
+
+    Raised by :class:`~repro.runtime.reliability.CheckpointStore` and
+    :meth:`~repro.runtime.reliability.ResilientEngine.resume` when the
+    journal names checkpoints but every recorded generation fails
+    validation (corrupt archive, checksum mismatch, missing snapshot).
+    """
+
+
+class ShardFailedError(ReproError):
+    """A shard of a partitioned synopsis group failed during ingestion.
+
+    Raised inside the per-shard ingest path (or injected by the fault
+    harness); :class:`~repro.runtime.reliability.ShardSupervisor`
+    catches it, isolates the shard, and degrades to a standby sketch
+    rather than letting the whole group fail.
+    """

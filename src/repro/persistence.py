@@ -25,7 +25,9 @@ dotted prefixes inside ``<name>``, e.g. ``array.sketch.table``).
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -61,8 +63,33 @@ def _unpack_metadata(blob: np.ndarray) -> dict:
 # -- generic entry points ----------------------------------------------------
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a completed rename survives power loss.
+
+    Best-effort: platforms/filesystems that cannot fsync a directory
+    (Windows, some network mounts) are silently skipped.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_synopsis(synopsis: Any, path: str | Path) -> None:
     """Write any state-protocol synopsis (parameters + counters) to ``path``.
+
+    The write is atomic: bytes land in a ``<path>.tmp`` sibling first,
+    are fsynced, and only then renamed over ``path`` (``os.replace``).
+    A crash mid-save can therefore never leave a truncated archive where
+    a valid checkpoint used to be — readers observe either the old file
+    or the complete new one.  A stale ``.tmp`` from an interrupted save
+    is overwritten by the next attempt.
 
     Raises :class:`StreamFormatError` for objects that do not implement
     the synopsis state protocol.
@@ -78,9 +105,25 @@ def save_synopsis(synopsis: Any, path: str | Path) -> None:
         f"{_ARRAY_PREFIX}{name}": array
         for name, array in state.arrays.items()
     }
-    np.savez_compressed(
-        Path(path), metadata=_pack_metadata(metadata), **arrays
-    )
+    target = Path(path)
+    if not target.name.endswith(".npz"):
+        # np.savez appends the suffix itself; mirror that for the rename
+        # target so callers see the same final filename as before.
+        target = target.with_name(target.name + ".npz")
+    scratch = target.with_name(target.name + ".tmp")
+    try:
+        with open(scratch, "wb") as handle:
+            np.savez_compressed(
+                handle, metadata=_pack_metadata(metadata), **arrays
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            scratch.unlink()
+        raise
+    _fsync_directory(target.parent)
 
 
 def load_synopsis(path: str | Path, *, expect_kind: str | None = None) -> Any:

@@ -14,7 +14,15 @@ provides that operational shell:
 * :class:`~repro.runtime.sharding.ShardedASketch` — hash-partitioned
   ingestion across several ASketch shards (each key owned by exactly one
   shard, so queries need no merging), the standard scale-out layout for
-  a multi-core collector.
+  a multi-core collector;
+* :mod:`~repro.runtime.reliability` — the fault-tolerance layer:
+  :class:`~repro.runtime.reliability.ResilientEngine` (atomic
+  checkpoints + exact crash recovery), :class:`~repro.runtime.
+  reliability.RetryingSource` (backoff retries, dead-letter
+  quarantine), :class:`~repro.runtime.reliability.ShardSupervisor`
+  (graceful shard degradation), and the deterministic
+  :class:`~repro.runtime.reliability.FaultPlan` injection harness the
+  recovery tests are built on.
 """
 
 from repro.runtime.engine import (
@@ -22,13 +30,39 @@ from repro.runtime.engine import (
     StreamEngine,
     ThresholdAlert,
     TopKBoard,
+    coerce_chunk,
+)
+from repro.runtime.reliability import (
+    CheckpointStore,
+    DeadLetter,
+    DeadLetterQueue,
+    FaultPlan,
+    FaultySource,
+    ResilientEngine,
+    RetryingSource,
+    RetryPolicy,
+    ShardSupervisor,
+    SimulatedCrash,
+    corrupt_file,
 )
 from repro.runtime.sharding import ShardedASketch
 
 __all__ = [
+    "CheckpointStore",
+    "DeadLetter",
+    "DeadLetterQueue",
     "EngineStats",
+    "FaultPlan",
+    "FaultySource",
+    "ResilientEngine",
+    "RetryPolicy",
+    "RetryingSource",
+    "ShardSupervisor",
     "ShardedASketch",
+    "SimulatedCrash",
     "StreamEngine",
     "ThresholdAlert",
     "TopKBoard",
+    "coerce_chunk",
+    "corrupt_file",
 ]

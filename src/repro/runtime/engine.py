@@ -17,7 +17,62 @@ from typing import Callable, Iterable, Protocol
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PoisonChunkError
+
+
+def coerce_chunk(
+    chunk,
+    chunk_index: int,
+    counts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Validate one ingest chunk and return it as a 1-D ``int64`` array.
+
+    The synopses model integer-keyed turnstile streams, so anything a
+    lossy ``np.asarray(chunk, dtype=np.int64)`` would silently mangle is
+    rejected as poison instead: float keys (fractional values truncate,
+    NaN/inf coerce to garbage), object/string dtypes, boolean payloads,
+    and non-1-D shapes.  When per-key ``counts`` accompany the chunk
+    they must be integral and non-negative — negative counts belong to
+    the strict-turnstile *deletion* API, not bulk ingest.
+
+    Raises :class:`~repro.errors.PoisonChunkError` carrying
+    ``chunk_index`` so callers can quarantine the exact offender.
+    """
+    array = np.asarray(chunk)
+    if array.dtype == object:
+        raise PoisonChunkError(
+            "object dtype (mixed or non-numeric keys)", chunk_index=chunk_index
+        )
+    if not np.issubdtype(array.dtype, np.integer):
+        detail = f"dtype {array.dtype} is not an integer type"
+        if np.issubdtype(array.dtype, np.floating):
+            bad = "NaN keys" if np.isnan(array).any() else "fractional keys"
+            detail = f"float keys (coercion would truncate; found {bad})"
+        raise PoisonChunkError(detail, chunk_index=chunk_index)
+    if array.ndim != 1:
+        raise PoisonChunkError(
+            f"expected a 1-D key array, got shape {array.shape}",
+            chunk_index=chunk_index,
+        )
+    if counts is not None:
+        counts = np.asarray(counts)
+        if counts.dtype == object or not np.issubdtype(counts.dtype, np.integer):
+            raise PoisonChunkError(
+                f"counts dtype {counts.dtype} is not an integer type",
+                chunk_index=chunk_index,
+            )
+        if counts.ndim != 1 or counts.shape[0] != array.shape[0]:
+            raise PoisonChunkError(
+                f"counts shape {counts.shape} does not match "
+                f"keys shape {array.shape}",
+                chunk_index=chunk_index,
+            )
+        if (counts < 0).any():
+            raise PoisonChunkError(
+                "negative counts outside the strict-turnstile model",
+                chunk_index=chunk_index,
+            )
+    return np.ascontiguousarray(array, dtype=np.int64)
 
 
 class SupportsIngest(Protocol):
@@ -36,15 +91,27 @@ class SupportsBatchIngest(Protocol):
 
 @dataclass
 class EngineStats:
-    """Running ingestion statistics."""
+    """Running ingestion statistics.
+
+    ``wall_seconds`` clocks synopsis ingest calls only;
+    ``consumer_seconds`` separately clocks time spent inside consumer
+    callbacks, so slow consumers no longer hide inside an unmetered gap.
+    """
 
     tuples_ingested: int = 0
     chunks_ingested: int = 0
     wall_seconds: float = 0.0
+    consumer_seconds: float = 0.0
     consumer_firings: int = 0
 
     @property
     def wall_throughput_items_per_ms(self) -> float:
+        """Ingest throughput in items/ms over **ingest-only** wall time.
+
+        Consumer callback time (``consumer_seconds``) is excluded — this
+        measures how fast the synopsis absorbs tuples, not how fast the
+        whole pipeline (ingest + continuous queries) turns around.
+        """
         if self.wall_seconds <= 0:
             return 0.0
         return self.tuples_ingested / self.wall_seconds / 1000.0
@@ -109,10 +176,17 @@ class StreamEngine:
         )
 
     def run(self, chunks: Iterable[np.ndarray]) -> EngineStats:
-        """Ingest every chunk, firing due consumers between chunks."""
+        """Ingest every chunk, firing due consumers between chunks.
+
+        Each chunk is validated through :func:`coerce_chunk` before it
+        reaches the synopsis; malformed payloads (float/object dtypes,
+        NaN keys, wrong shape) raise
+        :class:`~repro.errors.PoisonChunkError` carrying the offending
+        chunk's index instead of being silently truncated to ``int64``.
+        """
         ingest = self._ingest
         for chunk in chunks:
-            chunk = np.asarray(chunk, dtype=np.int64)
+            chunk = coerce_chunk(chunk, self.stats.chunks_ingested)
             start = time.perf_counter()
             ingest(chunk)
             self.stats.wall_seconds += time.perf_counter() - start
@@ -122,12 +196,16 @@ class StreamEngine:
         return self.stats
 
     def _fire_due_consumers(self) -> None:
+        if not self._consumers:
+            return
         position = self.stats.tuples_ingested
+        start = time.perf_counter()
         for consumer in self._consumers:
             while consumer.next_due <= position:
                 consumer.callback(position)
                 consumer.next_due += consumer.period
                 self.stats.consumer_firings += 1
+        self.stats.consumer_seconds += time.perf_counter() - start
 
 
 class TopKBoard:

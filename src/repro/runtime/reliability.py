@@ -1,0 +1,1211 @@
+"""Fault-tolerant ingestion: crash recovery, retries, shard degradation.
+
+The paper's application scenarios — continuous top-k boards, DDoS
+threshold alerts — only hold up in production if the synopsis survives
+process crashes and bad input without losing or corrupting counts.
+This module wraps :class:`~repro.runtime.engine.StreamEngine` with the
+reliability layer a long-running collector needs:
+
+* **Exact crash recovery** — :class:`ResilientEngine` checkpoints the
+  synopsis every ``checkpoint_every`` chunks through the PR-2 state
+  protocol.  Writes are atomic (tmp + fsync + rename, see
+  :func:`repro.persistence.save_synopsis`), generations rotate, and a
+  chunk-position journal records how much of the source each checkpoint
+  covers.  :meth:`ResilientEngine.resume` restores the newest valid
+  generation (falling back a generation when the latest is corrupt) and
+  replays exactly the un-checkpointed suffix, so the recovered synopsis
+  is *bit-identical* — equal :meth:`state` — to an uninterrupted run.
+* **Deterministic fault injection** — :class:`FaultPlan` describes
+  crashes at chunk boundaries, transient source errors, poison chunks,
+  checkpoint corruption, and shard failures, all seeded, so the
+  recovery test suite can prove the guarantees above rather than hope
+  for them.
+* **Resilient sources** — :class:`RetryingSource` retries transient
+  source failures with exponential backoff + deterministic jitter under
+  per-error-class :class:`RetryPolicy` budgets, raising
+  :class:`~repro.errors.RetryExhaustedError` when a budget is spent.
+  Chunks that fail validation (float/NaN keys, object dtypes, negative
+  counts) are quarantined in a :class:`DeadLetterQueue` instead of
+  being silently coerced into the synopsis.
+* **Graceful shard degradation** — :class:`ShardSupervisor` isolates a
+  faulting shard of a :class:`~repro.runtime.sharding.ShardedASketch`,
+  routes its keys to a standby Count-Min fallback (estimates stay
+  one-sided, flagged ``degraded``), and surfaces a ``health()``
+  snapshot (per-shard status, checkpoint lag, retry and quarantine
+  counters) through the engine.
+
+Replay semantics: synopsis **state** is exactly-once (the journal pins
+the replay point), while consumer callbacks between the last checkpoint
+and the crash fire again on replay — at-least-once, the standard
+contract for side effects under checkpoint/replay recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    PoisonChunkError,
+    RecoveryError,
+    RetryExhaustedError,
+    ShardFailedError,
+    StreamFormatError,
+    TransientSourceError,
+)
+from repro.persistence import _fsync_directory, load_synopsis, save_synopsis
+from repro.runtime.engine import EngineStats, StreamEngine, coerce_chunk
+from repro.runtime.sharding import ShardedASketch
+from repro.sketches.count_min import CountMinSketch
+from repro.synopses.protocol import (
+    SynopsisState,
+    pack_nested,
+    prefix_arrays,
+    unpack_nested,
+)
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death (``kill -9`` at a chunk boundary).
+
+    Deliberately **not** a :class:`~repro.errors.ReproError` — and not
+    even an :class:`Exception` — so no recovery machinery or blanket
+    ``except Exception`` can swallow it: a real crash gives the process
+    no chance to clean up, and the harness models exactly that.  Only
+    the test driving the fault plan catches it.
+    """
+
+
+# -- retrying sources --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff budget for one class of transient source errors.
+
+    ``delay_for(attempt)`` grows exponentially from ``base_delay`` by
+    ``multiplier`` per attempt, capped at ``max_delay``, plus
+    multiplicative jitter in ``[0, jitter)`` drawn from the caller's
+    seeded RNG — deterministic for a fixed seed, decorrelated across
+    retry storms.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Sleep duration before retry number ``attempt`` (0-based)."""
+        backoff = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return backoff * (1.0 + self.jitter * rng.random())
+
+
+class RetryingSource:
+    """Iterator wrapper retrying transient failures with backoff.
+
+    Wraps any chunk iterator whose ``__next__`` may raise a retryable
+    error (socket hiccup, NFS stall) and can be called again afterwards
+    — the contract of real transport readers.  Plain generators do
+    *not* satisfy it (they close on raise); wrap the transport object,
+    not a generator over it.
+
+    ``policies`` maps exception types to :class:`RetryPolicy` budgets
+    (matched by ``isinstance``, most-derived registration wins);
+    :class:`~repro.errors.TransientSourceError` is always retryable
+    under ``default_policy``.  Non-retryable exceptions propagate
+    untouched.  When a budget is spent the last failure is chained
+    beneath :class:`~repro.errors.RetryExhaustedError`.
+    """
+
+    def __init__(
+        self,
+        chunks: Iterable[np.ndarray] | Iterator[np.ndarray],
+        *,
+        policies: dict[type, RetryPolicy] | None = None,
+        default_policy: RetryPolicy | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._iterator = iter(chunks)
+        self._policies = dict(policies or {})
+        self._default = default_policy or RetryPolicy()
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        #: Total retry attempts made (across all chunks).
+        self.retries = 0
+        #: Chunks successfully delivered downstream.
+        self.chunks_delivered = 0
+        #: Total seconds of backoff requested (sums the sleep arguments).
+        self.backoff_seconds = 0.0
+
+    def _policy_for(self, error: Exception) -> RetryPolicy | None:
+        best: tuple[int, RetryPolicy] | None = None
+        for exc_type, policy in self._policies.items():
+            if isinstance(error, exc_type):
+                depth = len(type(error).__mro__) - len(exc_type.__mro__)
+                if best is None or depth < best[0]:
+                    best = (depth, policy)
+        if best is not None:
+            return best[1]
+        if isinstance(error, TransientSourceError):
+            return self._default
+        return None
+
+    def __iter__(self) -> "RetryingSource":
+        """Iterator protocol: the source is its own iterator."""
+        return self
+
+    def __next__(self) -> np.ndarray:
+        """Fetch the next chunk, retrying transient failures."""
+        attempt = 0
+        while True:
+            try:
+                chunk = next(self._iterator)
+            except StopIteration:
+                raise
+            except Exception as error:
+                policy = self._policy_for(error)
+                if policy is None:
+                    raise
+                if attempt >= policy.max_retries:
+                    raise RetryExhaustedError(
+                        f"source failed {attempt + 1} times fetching chunk "
+                        f"{self.chunks_delivered}: {error}",
+                        chunk_index=self.chunks_delivered,
+                        attempts=attempt + 1,
+                    ) from error
+                delay = policy.delay_for(attempt, self._rng)
+                attempt += 1
+                self.retries += 1
+                self.backoff_seconds += delay
+                self._sleep(delay)
+            else:
+                self.chunks_delivered += 1
+                return chunk
+
+
+# -- dead-letter quarantine --------------------------------------------------
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined chunk: where it sat in the source and why."""
+
+    chunk_index: int
+    reason: str
+    payload: Any
+
+
+class DeadLetterQueue:
+    """Bounded quarantine for poison chunks.
+
+    Holds up to ``capacity`` offending payloads with their source
+    positions and validation failures for offline inspection; beyond
+    capacity only the drop counter grows (the payloads are discarded,
+    never ingested).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._letters: list[DeadLetter] = []
+        #: Quarantined chunks dropped because the queue was full.
+        self.dropped = 0
+        #: Total chunks quarantined (kept + dropped).
+        self.quarantined = 0
+
+    def quarantine(self, chunk_index: int, payload: Any, reason: str) -> None:
+        """Record one poison chunk (payload kept while capacity allows)."""
+        self.quarantined += 1
+        if len(self._letters) < self.capacity:
+            self._letters.append(DeadLetter(chunk_index, reason, payload))
+        else:
+            self.dropped += 1
+
+    @property
+    def letters(self) -> list[DeadLetter]:
+        """The retained dead letters, in quarantine order."""
+        return list(self._letters)
+
+    def chunk_indices(self) -> list[int]:
+        """Source positions of the retained dead letters."""
+        return [letter.chunk_index for letter in self._letters]
+
+    def __len__(self) -> int:
+        """Number of retained dead letters."""
+        return len(self._letters)
+
+
+# -- deterministic fault injection -------------------------------------------
+
+
+def corrupt_file(path: str | Path, seed: int = 0, span: int = 64) -> None:
+    """Deterministically flip a run of bytes in the middle of a file.
+
+    The fault harness's model of bit rot / torn writes: ``span`` bytes
+    starting at a seed-chosen offset are XORed with ``0xFF``, which
+    breaks both the journal checksum and the npz container.  Corrupting
+    an empty file is a no-op.
+    """
+    target = Path(path)
+    blob = bytearray(target.read_bytes())
+    if not blob:
+        return
+    rng = random.Random(seed)
+    span = max(1, min(span, len(blob)))
+    start = rng.randrange(0, len(blob) - span + 1)
+    for offset in range(start, start + span):
+        blob[offset] ^= 0xFF
+    target.write_bytes(bytes(blob))
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, seeded schedule of injected faults.
+
+    All positions are 0-based source-chunk indices.  The plan is applied
+    in two places: :meth:`wrap` turns a chunk iterable into a
+    :class:`FaultySource` injecting *source-side* faults (transient
+    errors, poison payloads), while :class:`ResilientEngine` applies the
+    *engine-side* faults (crash at a chunk boundary, checkpoint
+    corruption, shard failure) at the recorded positions.
+
+    Attributes
+    ----------
+    seed:
+        Drives every random choice (poison variant, corruption offset).
+    crash_at_chunk:
+        Raise :class:`SimulatedCrash` immediately before ingesting this
+        chunk — exactly ``crash_at_chunk`` chunks have been ingested.
+    transient_errors:
+        ``{chunk_index: failures}`` — the source raises
+        :class:`~repro.errors.TransientSourceError` that many times
+        before successfully yielding the chunk.
+    poison_chunks:
+        Chunk indices whose payload is replaced with poison (float,
+        NaN-bearing, or object-dtype keys, variant chosen by ``seed``).
+    corrupt_checkpoint_after:
+        After this many checkpoint writes (1-based), corrupt the newest
+        snapshot file — exercising the fall-back-one-generation path.
+    fail_shard:
+        ``(chunk_index, shard_index)`` — inject a shard failure into the
+        engine's :class:`ShardSupervisor` just before that chunk, so the
+        shard's ingest raises and the supervisor must degrade.
+    """
+
+    seed: int = 0
+    crash_at_chunk: int | None = None
+    transient_errors: dict[int, int] = field(default_factory=dict)
+    poison_chunks: frozenset[int] | set[int] = field(default_factory=frozenset)
+    corrupt_checkpoint_after: int | None = None
+    fail_shard: tuple[int, int] | None = None
+
+    def wrap(self, chunks: Iterable[np.ndarray]) -> "FaultySource":
+        """The source-side view of this plan over a chunk iterable."""
+        return FaultySource(chunks, self)
+
+    def poison_payload(self, chunk: np.ndarray, chunk_index: int) -> Any:
+        """The poison replacing ``chunk``, chosen by ``(seed, index)``."""
+        rng = random.Random(self.seed * 1_000_003 + chunk_index)
+        variant = rng.randrange(3)
+        base = np.asarray(chunk, dtype=np.float64)
+        if base.size == 0:
+            base = np.zeros(1, dtype=np.float64)
+        if variant == 0:  # fractional keys: int64 coercion would truncate
+            return base + 0.5
+        if variant == 1:  # NaN keys
+            poisoned = base.copy()
+            poisoned[rng.randrange(poisoned.size)] = np.nan
+            return poisoned
+        return [int(v) for v in base[:-1]] + ["poison"]  # object dtype
+
+
+class FaultySource:
+    """A chunk iterator acting out a :class:`FaultPlan`'s source faults.
+
+    Transient failures are raised *before* the chunk is surrendered and
+    the same chunk is re-offered on the next ``__next__`` call — the
+    retry contract :class:`RetryingSource` expects.  Poison chunks are
+    substituted at their planned positions.
+    """
+
+    def __init__(self, chunks: Iterable[np.ndarray], plan: FaultPlan) -> None:
+        self._iterator = iter(chunks)
+        self._plan = plan
+        self._index = 0
+        self._pending: Any = None
+        self._has_pending = False
+        self._failures_left: dict[int, int] = dict(plan.transient_errors)
+
+    def __iter__(self) -> "FaultySource":
+        """Iterator protocol: the source is its own iterator."""
+        return self
+
+    def __next__(self) -> Any:
+        """Yield the next chunk, injecting planned source faults."""
+        if not self._has_pending:
+            self._pending = next(self._iterator)
+            self._has_pending = True
+        index = self._index
+        remaining = self._failures_left.get(index, 0)
+        if remaining > 0:
+            self._failures_left[index] = remaining - 1
+            raise TransientSourceError(
+                f"injected transient failure fetching chunk {index} "
+                f"({remaining - 1} more to come)"
+            )
+        chunk = self._pending
+        self._pending = None
+        self._has_pending = False
+        self._index += 1
+        if index in self._plan.poison_chunks:
+            return self._plan.poison_payload(chunk, index)
+        return chunk
+
+
+# -- checkpoint store --------------------------------------------------------
+
+
+class CheckpointStore:
+    """Rotating atomic checkpoints plus a chunk-position journal.
+
+    Layout inside ``directory``::
+
+        gen-00000041.npz   # synopsis snapshot (atomic tmp+fsync+rename)
+        journal.jsonl      # one record per checkpoint, append + fsync
+
+    Each journal record pins a snapshot to its stream position::
+
+        {"generation": 41, "snapshot": "gen-00000041.npz",
+         "chunk_index": 96, "tuples_ingested": 480000,
+         "engine_chunks": 96, "sha256": "..."}
+
+    ``chunk_index`` counts *source* chunks fully handled (ingested or
+    quarantined) when the snapshot was taken — the replay point.  The
+    write order (snapshot first, then journal line) means a crash
+    between the two leaves an orphan snapshot that is simply never
+    referenced; a torn journal line is skipped on read.  Only the
+    newest ``keep`` snapshots are retained, so recovery can always fall
+    back at least one generation when the latest file is corrupt.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+
+    @property
+    def journal_path(self) -> Path:
+        """Path of the append-only journal file."""
+        return self.directory / self.JOURNAL_NAME
+
+    def snapshot_path(self, generation: int) -> Path:
+        """Path of one generation's snapshot archive."""
+        return self.directory / f"gen-{generation:08d}.npz"
+
+    def journal_records(self) -> list[dict]:
+        """All parseable journal records, oldest first.
+
+        Unparseable lines (a torn final append from a crash mid-write)
+        are skipped rather than fatal.
+        """
+        try:
+            text = self.journal_path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "generation" in record:
+                records.append(record)
+        return records
+
+    def last_record(self) -> dict | None:
+        """The newest journal record, or None for an empty store."""
+        records = self.journal_records()
+        return records[-1] if records else None
+
+    def save(
+        self,
+        synopsis: Any,
+        *,
+        chunk_index: int,
+        tuples_ingested: int,
+        engine_chunks: int | None = None,
+        extra: dict | None = None,
+    ) -> dict:
+        """Checkpoint a synopsis at a stream position; returns the record.
+
+        The snapshot is written atomically, hashed, journaled, and old
+        generations beyond ``keep`` are pruned.
+        """
+        records = self.journal_records()
+        generation = (records[-1]["generation"] + 1) if records else 0
+        snapshot = self.snapshot_path(generation)
+        save_synopsis(synopsis, snapshot)
+        digest = hashlib.sha256(snapshot.read_bytes()).hexdigest()
+        record = {
+            "generation": generation,
+            "snapshot": snapshot.name,
+            "chunk_index": int(chunk_index),
+            "tuples_ingested": int(tuples_ingested),
+            "engine_chunks": int(
+                chunk_index if engine_chunks is None else engine_chunks
+            ),
+            "sha256": digest,
+        }
+        if extra:
+            record["extra"] = extra
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_directory(self.directory)
+        self._prune(records + [record])
+        return record
+
+    def _prune(self, records: list[dict]) -> None:
+        live = {record["generation"] for record in records[-self.keep :]}
+        for record in records[: -self.keep]:
+            if record["generation"] in live:
+                continue
+            try:
+                self.snapshot_path(record["generation"]).unlink()
+            except OSError:
+                pass
+
+    def load_latest(self) -> tuple[Any, dict] | None:
+        """Restore the newest valid checkpoint, falling back on corrupt ones.
+
+        Walks the journal newest-first; a generation whose snapshot is
+        missing, fails its checksum, or fails to load is skipped and the
+        previous generation is tried.  Returns ``(synopsis, record)``,
+        or ``None`` when the journal is empty.  Raises
+        :class:`~repro.errors.RecoveryError` when checkpoints exist but
+        none is recoverable.
+        """
+        records = self.journal_records()
+        if not records:
+            return None
+        failures: list[str] = []
+        for record in reversed(records):
+            path = self.directory / record.get("snapshot", "")
+            try:
+                blob = path.read_bytes()
+            except OSError as exc:
+                failures.append(f"gen {record['generation']}: {exc}")
+                continue
+            expected = record.get("sha256")
+            if expected and hashlib.sha256(blob).hexdigest() != expected:
+                failures.append(
+                    f"gen {record['generation']}: checksum mismatch "
+                    f"(corrupt snapshot {path.name})"
+                )
+                continue
+            try:
+                synopsis = load_synopsis(path)
+            except (StreamFormatError, OSError, ValueError, KeyError) as exc:
+                failures.append(f"gen {record['generation']}: {exc}")
+                continue
+            return synopsis, record
+        raise RecoveryError(
+            f"no recoverable checkpoint in {self.directory}: "
+            + "; ".join(failures)
+        )
+
+
+# -- shard supervision -------------------------------------------------------
+
+
+class ShardSupervisor:
+    """Degrade a :class:`ShardedASketch` gracefully under shard failure.
+
+    Wraps a shard group with per-shard fault isolation: an exception
+    escaping one shard's ingest marks that shard ``failed``, freezes its
+    pre-failure counters (still queryable), and routes all subsequent
+    traffic for its key range to a standby Count-Min sketch.  Point
+    estimates for a degraded shard are ``frozen + standby`` — both
+    one-sided over their respective sub-streams, so the sum stays a
+    one-sided over-estimate of the true count; the group keeps
+    answering queries and **no shard failure ever escapes ingest**.
+
+    Degradation trade-off: the failed shard's *filter* stops adapting,
+    so :meth:`top_k` / :meth:`heavy_hitters` reflect only counts
+    absorbed before the failure for that partition (point queries stay
+    fully covered via the standby).
+
+    Constructible three ways: wrap an existing group
+    (``ShardSupervisor(group)``), build the group in place
+    (``ShardSupervisor(shards=4, total_bytes=...)``), or restore from a
+    checkpoint (:meth:`from_state` — supervisors are first-class
+    synopses, registered as kind ``"shard-supervisor"``).
+    """
+
+    SYNOPSIS_KIND = "shard-supervisor"
+
+    #: Shard lifecycle states surfaced through :meth:`shard_health`.
+    STATUS_OK = "ok"
+    STATUS_FAILED = "failed"
+
+    def __init__(
+        self,
+        group: ShardedASketch | None = None,
+        *,
+        standby_hashes: int = 4,
+        standby_bytes: int | None = None,
+        **group_params: Any,
+    ) -> None:
+        if group is None:
+            if not group_params:
+                raise ConfigurationError(
+                    "pass a ShardedASketch or its construction parameters"
+                )
+            group = ShardedASketch(**group_params)
+        elif group_params:
+            raise ConfigurationError(
+                "pass either a group instance or construction parameters, "
+                "not both"
+            )
+        self.group = group
+        if standby_hashes < 1:
+            raise ConfigurationError(
+                f"standby_hashes must be >= 1, got {standby_hashes}"
+            )
+        self.standby_hashes = int(standby_hashes)
+        self.standby_bytes = int(
+            group.total_bytes if standby_bytes is None else standby_bytes
+        )
+        self._status = [self.STATUS_OK] * len(group)
+        self._errors: dict[int, str] = {}
+        self._forced: set[int] = set()
+        self._standbys: dict[int, CountMinSketch] = {}
+        self._standby_tuples: dict[int, int] = {}
+
+    # -- failure bookkeeping ----------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self.group):
+            raise ConfigurationError(
+                f"shard index {index} out of range for {len(self.group)} shards"
+            )
+
+    def inject_failure(self, index: int) -> None:
+        """Arm a fault: the shard's next ingest raises ``ShardFailedError``.
+
+        The failure flows through the regular isolation path (catch,
+        mark, reroute), so fault-injection tests exercise exactly the
+        code real faults would.
+        """
+        self._check_index(index)
+        self._forced.add(index)
+
+    def _mark_failed(self, index: int, error: Exception) -> None:
+        self._status[index] = self.STATUS_FAILED
+        self._errors[index] = f"{type(error).__name__}: {error}"
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard has failed over to its standby."""
+        return any(status != self.STATUS_OK for status in self._status)
+
+    @property
+    def failed_shards(self) -> list[int]:
+        """Indices of shards currently running on their standby."""
+        return [
+            index
+            for index, status in enumerate(self._status)
+            if status != self.STATUS_OK
+        ]
+
+    def _standby_for(self, index: int) -> CountMinSketch:
+        standby = self._standbys.get(index)
+        if standby is None:
+            standby = CountMinSketch(
+                self.standby_hashes,
+                total_bytes=self.standby_bytes,
+                seed=self.group.seed * 7919 + index,
+            )
+            self._standbys[index] = standby
+            self._standby_tuples.setdefault(index, 0)
+        return standby
+
+    def shard_health(self) -> list[dict]:
+        """Per-shard status snapshot (JSON-safe)."""
+        return [
+            {
+                "shard": index,
+                "status": status,
+                "error": self._errors.get(index),
+                "standby_tuples": self._standby_tuples.get(index, 0),
+            }
+            for index, status in enumerate(self._status)
+        ]
+
+    # -- ingestion ---------------------------------------------------------
+
+    def _ingest_share(
+        self,
+        index: int,
+        shard: Any,
+        share: np.ndarray,
+        share_counts: np.ndarray | None,
+        scalar: bool,
+    ) -> None:
+        if self._status[index] == self.STATUS_OK:
+            try:
+                if index in self._forced:
+                    raise ShardFailedError(
+                        f"injected failure on shard {index}"
+                    )
+                if scalar and share_counts is None:
+                    shard.process_stream(share)
+                else:
+                    shard.process_batch(share, share_counts)
+                return
+            except Exception as error:  # isolate: degrade, never propagate
+                self._mark_failed(index, error)
+        standby = self._standby_for(index)
+        if share_counts is None:
+            standby.update_batch(share)
+            self._standby_tuples[index] += int(share.shape[0])
+        else:
+            standby.update_batch_weighted(share, share_counts)
+            self._standby_tuples[index] += int(share_counts.sum())
+
+    def process_batch(
+        self, keys: np.ndarray, counts: np.ndarray | None = None
+    ) -> None:
+        """Partition a chunk by owner and batch-ingest with isolation.
+
+        Healthy shards get their shares through the group's vectorised
+        path; a share whose shard raises is rerouted to that shard's
+        standby (including the failing share itself — the forced raise
+        happens before any counter moves, so nothing is half-applied).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+        owners = self.group.owners_of(keys)
+        for index, shard in enumerate(self.group.shards):
+            mask = owners == index
+            if not mask.any():
+                continue
+            self._ingest_share(
+                index,
+                shard,
+                keys[mask],
+                None if counts is None else counts[mask],
+                scalar=False,
+            )
+
+    def process_stream(self, keys: np.ndarray) -> None:
+        """Scalar-path ingest with the same per-shard isolation."""
+        keys = np.asarray(keys, dtype=np.int64)
+        owners = self.group.owners_of(keys)
+        for index, shard in enumerate(self.group.shards):
+            mask = owners == index
+            if not mask.any():
+                continue
+            self._ingest_share(index, shard, keys[mask], None, scalar=True)
+
+    def update(self, key: int, amount: int = 1) -> int:
+        """Route one weighted update, failing over to the standby."""
+        index = self.group.shard_of(key)
+        shard = self.group.shards[index]
+        if self._status[index] == self.STATUS_OK:
+            try:
+                if index in self._forced:
+                    raise ShardFailedError(f"injected failure on shard {index}")
+                return int(shard.update(key, amount))
+            except Exception as error:
+                self._mark_failed(index, error)
+        self._standby_for(index).update(key, amount)
+        self._standby_tuples[index] += int(amount)
+        return self.query(key)
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, key: int) -> int:
+        """One-sided point estimate; degraded shards answer frozen+standby."""
+        index = self.group.shard_of(key)
+        if self._status[index] == self.STATUS_OK:
+            return self.group.query(key)
+        try:
+            frozen = int(self.group.shards[index].query(key))
+        except Exception:  # shard too corrupt even to read: standby only
+            frozen = 0
+        standby = self._standbys.get(index)
+        return frozen + (int(standby.estimate(key)) if standby else 0)
+
+    estimate = query
+
+    def query_batch(self, keys: Iterable[int]) -> list[int]:
+        """Vectorised owner-partitioned point queries with degradation."""
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return []
+        if not self.degraded:
+            return self.group.query_batch(keys)
+        owners = self.group.owners_of(keys)
+        answers = np.zeros(keys.shape[0], dtype=np.int64)
+        for index, shard in enumerate(self.group.shards):
+            mask = owners == index
+            if not mask.any():
+                continue
+            share = keys[mask]
+            try:
+                answers[mask] = shard.query_batch(share)
+            except Exception:
+                answers[mask] = 0
+            if self._status[index] != self.STATUS_OK:
+                standby = self._standbys.get(index)
+                if standby is not None:
+                    answers[mask] += np.asarray(
+                        standby.estimate_batch(share), dtype=np.int64
+                    )
+        return [int(v) for v in answers]
+
+    estimate_batch = query_batch
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """Global top-k via the shard filters (see degradation note above)."""
+        return self.group.top_k(k)
+
+    def heavy_hitters(self, threshold: int) -> list[tuple[int, int]]:
+        """Global threshold query via the shard filters."""
+        return self.group.heavy_hitters(threshold)
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def total_mass(self) -> int:
+        """Aggregate stream mass: group plus all standby traffic."""
+        return int(self.group.total_mass) + sum(
+            standby.total_count() for standby in self._standbys.values()
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical bytes: the group plus any instantiated standbys."""
+        return int(self.group.size_bytes) + sum(
+            standby.size_bytes for standby in self._standbys.values()
+        )
+
+    def __len__(self) -> int:
+        """Number of shards supervised."""
+        return len(self.group)
+
+    # -- synopsis protocol -------------------------------------------------
+
+    def state(self) -> SynopsisState:
+        """Supervisor parameters, group state, standbys, and statuses."""
+        arrays: dict[str, np.ndarray] = {}
+        group_state = self.group.state()
+        arrays.update(prefix_arrays("group", group_state.arrays))
+        standbys_meta: dict[str, Any] = {}
+        for index, standby in sorted(self._standbys.items()):
+            standby_state = standby.state()
+            arrays.update(
+                prefix_arrays(f"standby{index}", standby_state.arrays)
+            )
+            standbys_meta[str(index)] = pack_nested(standby_state)
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={
+                "standby_hashes": self.standby_hashes,
+                "standby_bytes": self.standby_bytes,
+            },
+            arrays=arrays,
+            extra={
+                "group": pack_nested(group_state),
+                "standbys": standbys_meta,
+                "status": list(self._status),
+                "errors": {str(i): msg for i, msg in self._errors.items()},
+                "forced": sorted(self._forced),
+                "standby_tuples": {
+                    str(i): n for i, n in self._standby_tuples.items()
+                },
+            },
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "ShardSupervisor":
+        """Rebuild a supervisor (group, standbys, statuses) from state."""
+        group = ShardedASketch.from_state(
+            unpack_nested(state.extra["group"], state.arrays, "group")
+        )
+        supervisor = cls(
+            group,
+            standby_hashes=int(state.params["standby_hashes"]),
+            standby_bytes=int(state.params["standby_bytes"]),
+        )
+        supervisor._status = list(state.extra.get("status", supervisor._status))
+        supervisor._errors = {
+            int(i): msg for i, msg in state.extra.get("errors", {}).items()
+        }
+        supervisor._forced = {int(i) for i in state.extra.get("forced", [])}
+        supervisor._standby_tuples = {
+            int(i): int(n)
+            for i, n in state.extra.get("standby_tuples", {}).items()
+        }
+        for index_str, metadata in state.extra.get("standbys", {}).items():
+            supervisor._standbys[int(index_str)] = CountMinSketch.from_state(
+                unpack_nested(metadata, state.arrays, f"standby{index_str}")
+            )
+        return supervisor
+
+    def merge(self, other: "ShardSupervisor") -> None:
+        """Shard-wise merge of two supervised groups with equal layout.
+
+        Groups merge through :meth:`ShardedASketch.merge`; standbys
+        merge cell-wise where both sides have one, are adopted where
+        only ``other`` does.  A shard failed on either side is failed in
+        the result.  ``other`` is consumed.
+        """
+        if not isinstance(other, ShardSupervisor):
+            raise ConfigurationError(
+                f"cannot merge ShardSupervisor with {type(other).__name__}"
+            )
+        if (
+            self.standby_hashes != other.standby_hashes
+            or self.standby_bytes != other.standby_bytes
+        ):
+            raise ConfigurationError(
+                "supervisors must share standby sizing to merge"
+            )
+        self.group.merge(other.group)
+        for index, theirs in other._standbys.items():
+            mine = self._standbys.get(index)
+            if mine is None:
+                self._standbys[index] = theirs
+            else:
+                mine.merge(theirs)
+            self._standby_tuples[index] = self._standby_tuples.get(
+                index, 0
+            ) + other._standby_tuples.get(index, 0)
+        for index, status in enumerate(other._status):
+            if status != self.STATUS_OK:
+                self._status[index] = status
+                self._errors.setdefault(
+                    index, other._errors.get(index, "failed in merged peer")
+                )
+        self._forced |= other._forced
+
+
+# -- the resilient engine ----------------------------------------------------
+
+
+class ResilientEngine:
+    """Crash-safe, fault-isolating wrapper around :class:`StreamEngine`.
+
+    Composes the pieces of this module into one ingestion runtime:
+
+    * the source is wrapped in a :class:`RetryingSource` (transient
+      failures retried with backoff, budgets per error class);
+    * every chunk is validated before it can touch the synopsis; poison
+      chunks land in :attr:`dead_letters` and ingestion continues;
+    * with a ``checkpoint_dir``, the synopsis is checkpointed atomically
+      every ``checkpoint_every`` chunks (plus once at end of stream) and
+      :meth:`resume` restores the newest valid generation and replays
+      exactly the un-checkpointed source suffix — the recovered synopsis
+      state is identical to an uninterrupted run's;
+    * a :class:`ShardSupervisor` synopsis degrades per shard instead of
+      failing, and :meth:`health` surfaces the whole picture.
+
+    Consumers registered via :meth:`every` fire at absolute stream
+    positions, so a consumer due at position ``p`` fires in the resumed
+    run iff it had not already fired before the restored checkpoint
+    (callbacks between checkpoint and crash replay — at-least-once).
+    """
+
+    def __init__(
+        self,
+        synopsis: Any = None,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 64,
+        keep_generations: int = 2,
+        batched: bool | None = None,
+        retry_policies: dict[type, RetryPolicy] | None = None,
+        default_retry_policy: RetryPolicy | None = None,
+        retry_seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        dead_letter_capacity: int = 64,
+    ) -> None:
+        if synopsis is None and checkpoint_dir is None:
+            raise ConfigurationError(
+                "provide a synopsis, a checkpoint_dir to resume from, or both"
+            )
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.synopsis = synopsis
+        self.checkpoint_every = int(checkpoint_every)
+        self.batched = batched
+        self._store = (
+            CheckpointStore(checkpoint_dir, keep=keep_generations)
+            if checkpoint_dir is not None
+            else None
+        )
+        self._retry_policies = dict(retry_policies or {})
+        self._default_retry_policy = default_retry_policy
+        self._retry_seed = int(retry_seed)
+        self._sleep = sleep
+        #: Quarantine of rejected chunks (see :class:`DeadLetterQueue`).
+        self.dead_letters = DeadLetterQueue(capacity=dead_letter_capacity)
+        self._consumer_specs: list[tuple[int, Callable[[int], None], str]] = []
+        self._engine: StreamEngine | None = None
+        self._source: RetryingSource | None = None
+        self._last_record: dict | None = None
+        self._chunks_since_checkpoint = 0
+        self._checkpoints_written = 0
+        self._source_chunks_seen = 0
+
+    @property
+    def store(self) -> CheckpointStore | None:
+        """The checkpoint store (None when running checkpoint-free)."""
+        return self._store
+
+    @property
+    def stats(self) -> EngineStats:
+        """Ingestion statistics of the current / most recent drive."""
+        return self._engine.stats if self._engine is not None else EngineStats()
+
+    def every(
+        self, period: int, callback: Callable[[int], None], name: str = ""
+    ) -> None:
+        """Register ``callback(tuples_so_far)`` every ``period`` tuples.
+
+        Consumers survive :meth:`resume`: they are re-registered on the
+        rebuilt inner engine with their schedule fast-forwarded past the
+        restored position.
+        """
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        self._consumer_specs.append((period, callback, name))
+
+    # -- driving -----------------------------------------------------------
+
+    def run(
+        self,
+        chunks: Iterable[np.ndarray],
+        fault_plan: FaultPlan | None = None,
+    ) -> EngineStats:
+        """Ingest a chunk source from the beginning (checkpointing as
+        configured); ``fault_plan`` injects deterministic faults."""
+        return self._drive(chunks, start_chunk=0, restored=None,
+                           fault_plan=fault_plan)
+
+    def resume(
+        self,
+        chunks: Iterable[np.ndarray],
+        fault_plan: FaultPlan | None = None,
+    ) -> EngineStats:
+        """Recover from the newest valid checkpoint and finish the stream.
+
+        ``chunks`` must re-yield the same source from the beginning; the
+        prefix covered by the restored checkpoint is skipped and only
+        the un-checkpointed suffix is replayed, leaving the synopsis
+        state identical to an uninterrupted run.  With an empty store
+        (crash before the first checkpoint) the run starts from scratch,
+        which requires a fresh ``synopsis`` to have been provided.
+        Raises :class:`~repro.errors.RecoveryError` when checkpoints
+        exist but none is recoverable, or when there is neither a
+        checkpoint nor a fresh synopsis.
+        """
+        if self._store is None:
+            raise ConfigurationError("resume requires a checkpoint_dir")
+        loaded = self._store.load_latest()
+        if loaded is None:
+            if self.synopsis is None:
+                raise RecoveryError(
+                    f"nothing to resume: {self._store.directory} has no "
+                    "checkpoints and no fresh synopsis was provided"
+                )
+            return self._drive(chunks, start_chunk=0, restored=None,
+                               fault_plan=fault_plan)
+        synopsis, record = loaded
+        self.synopsis = synopsis
+        self._last_record = record
+        return self._drive(
+            chunks,
+            start_chunk=int(record["chunk_index"]),
+            restored=record,
+            fault_plan=fault_plan,
+        )
+
+    def _drive(
+        self,
+        chunks: Iterable[np.ndarray],
+        start_chunk: int,
+        restored: dict | None,
+        fault_plan: FaultPlan | None,
+    ) -> EngineStats:
+        if self.synopsis is None:
+            raise ConfigurationError("no synopsis to drive")
+        engine = StreamEngine(self.synopsis, batched=self.batched)
+        self._engine = engine
+        if restored is not None:
+            engine.stats.tuples_ingested = int(restored["tuples_ingested"])
+            engine.stats.chunks_ingested = int(
+                restored.get("engine_chunks", restored["chunk_index"])
+            )
+        for period, callback, name in self._consumer_specs:
+            engine.every(period, callback, name)
+        if restored is not None:
+            position = engine.stats.tuples_ingested
+            for consumer in engine._consumers:
+                # Fast-forward past firings already delivered before the
+                # checkpoint (checkpoints are taken after consumers fire).
+                consumer.next_due = (
+                    position // consumer.period + 1
+                ) * consumer.period
+
+        source: Iterator[Any] = iter(chunks)
+        if fault_plan is not None:
+            source = fault_plan.wrap(source)
+        retrying = RetryingSource(
+            source,
+            policies=self._retry_policies,
+            default_policy=self._default_retry_policy,
+            seed=self._retry_seed,
+            sleep=self._sleep,
+        )
+        self._source = retrying
+        self._chunks_since_checkpoint = 0
+
+        index = 0
+        for chunk in retrying:
+            if index < start_chunk:  # replayed prefix already checkpointed
+                index += 1
+                self._source_chunks_seen = index
+                continue
+            if fault_plan is not None:
+                self._apply_engine_faults(fault_plan, index)
+            try:
+                array = coerce_chunk(chunk, index)
+            except PoisonChunkError as exc:
+                self.dead_letters.quarantine(index, chunk, exc.reason)
+                index += 1
+                self._source_chunks_seen = index
+                self._chunks_since_checkpoint += 1
+                continue
+            engine.run([array])
+            index += 1
+            self._source_chunks_seen = index
+            self._chunks_since_checkpoint += 1
+            if (
+                self._store is not None
+                and self._chunks_since_checkpoint >= self.checkpoint_every
+            ):
+                self._checkpoint(index, engine, fault_plan)
+        if self._store is not None and self._chunks_since_checkpoint > 0:
+            self._checkpoint(index, engine, fault_plan)
+        return engine.stats
+
+    def _apply_engine_faults(self, plan: FaultPlan, index: int) -> None:
+        if plan.fail_shard is not None and plan.fail_shard[0] == index:
+            if not isinstance(self.synopsis, ShardSupervisor):
+                raise ConfigurationError(
+                    "fail_shard fault injection requires a ShardSupervisor "
+                    f"synopsis, got {type(self.synopsis).__name__}"
+                )
+            self.synopsis.inject_failure(plan.fail_shard[1])
+        if plan.crash_at_chunk is not None and plan.crash_at_chunk == index:
+            raise SimulatedCrash(
+                f"injected crash at chunk boundary {index} "
+                f"({index} chunks ingested)"
+            )
+
+    def _checkpoint(
+        self, chunk_index: int, engine: StreamEngine, plan: FaultPlan | None
+    ) -> None:
+        assert self._store is not None
+        record = self._store.save(
+            self.synopsis,
+            chunk_index=chunk_index,
+            tuples_ingested=engine.stats.tuples_ingested,
+            engine_chunks=engine.stats.chunks_ingested,
+        )
+        self._last_record = record
+        self._chunks_since_checkpoint = 0
+        self._checkpoints_written += 1
+        if (
+            plan is not None
+            and plan.corrupt_checkpoint_after is not None
+            and self._checkpoints_written == plan.corrupt_checkpoint_after
+        ):
+            corrupt_file(
+                self._store.snapshot_path(record["generation"]),
+                seed=plan.seed,
+            )
+
+    # -- observability -----------------------------------------------------
+
+    def health(self) -> dict:
+        """A JSON-safe snapshot of the runtime's condition.
+
+        Keys: ``status`` (``"ok"``/``"degraded"`` — degraded when any
+        shard failed over or chunks were quarantined), ingestion
+        counters, the last checkpoint record (or None),
+        ``checkpoint_lag_chunks`` (chunks handled since that
+        checkpoint), retry/backoff counters from the source wrapper,
+        quarantine counters, and per-shard statuses when the synopsis is
+        supervised.
+        """
+        stats = self.stats
+        shards = (
+            self.synopsis.shard_health()
+            if isinstance(self.synopsis, ShardSupervisor)
+            else None
+        )
+        degraded = bool(
+            (shards and any(s["status"] != "ok" for s in shards))
+            or self.dead_letters.quarantined
+        )
+        checkpoint = None
+        if self._last_record is not None:
+            checkpoint = {
+                key: self._last_record[key]
+                for key in ("generation", "chunk_index", "tuples_ingested")
+            }
+        return {
+            "status": "degraded" if degraded else "ok",
+            "tuples_ingested": stats.tuples_ingested,
+            "chunks_ingested": stats.chunks_ingested,
+            "source_chunks_seen": self._source_chunks_seen,
+            "checkpoint": checkpoint,
+            "checkpoint_lag_chunks": self._chunks_since_checkpoint,
+            "retries": self._source.retries if self._source else 0,
+            "backoff_seconds": (
+                self._source.backoff_seconds if self._source else 0.0
+            ),
+            "quarantined": self.dead_letters.quarantined,
+            "quarantine_dropped": self.dead_letters.dropped,
+            "shards": shards,
+        }

@@ -84,6 +84,17 @@ class ShardedASketch:
         """The shard index owning a key."""
         return self._router(key_to_int(key))
 
+    def owners_of(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`shard_of`: the owner index for each key.
+
+        This is the routing decision the ingest/query paths use; it is
+        public so wrappers (e.g. the reliability layer's
+        :class:`~repro.runtime.reliability.ShardSupervisor`) can
+        partition chunks identically without re-deriving the router.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        return self._router.hash_array(encode_key_array(keys))
+
     # -- ingestion --------------------------------------------------------
 
     def process_stream(self, keys: np.ndarray) -> None:

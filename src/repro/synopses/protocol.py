@@ -26,6 +26,7 @@ by implementing the members, not by inheriting a base.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
@@ -60,6 +61,33 @@ class SynopsisState:
     params: dict[str, Any]
     arrays: dict[str, np.ndarray] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
+
+    def equals(self, other: "SynopsisState") -> bool:
+        """Exact state equality: same kind, params, extra, and arrays.
+
+        Arrays compare element-wise with matching dtypes; the JSON-safe
+        halves compare through a canonical JSON encoding (so int vs.
+        int-valued float distinctions survive round-trips the same way
+        persistence does).  This is the recovery invariant's notion of
+        "bit-identical": two synopses with equal states behave
+        identically forever after.
+        """
+        if not isinstance(other, SynopsisState):
+            return False
+        if self.kind != other.kind:
+            return False
+        canonical = lambda blob: json.dumps(blob, sort_keys=True, default=str)  # noqa: E731
+        if canonical(self.params) != canonical(other.params):
+            return False
+        if canonical(self.extra) != canonical(other.extra):
+            return False
+        if sorted(self.arrays) != sorted(other.arrays):
+            return False
+        return all(
+            self.arrays[name].dtype == other.arrays[name].dtype
+            and np.array_equal(self.arrays[name], other.arrays[name])
+            for name in self.arrays
+        )
 
 
 @runtime_checkable

@@ -27,6 +27,7 @@ _BUILTIN_KINDS: dict[str, str] = {
     "misra-gries": "repro.counters.misra_gries:MisraGries",
     "asketch": "repro.core.asketch:ASketch",
     "sharded-asketch": "repro.runtime.sharding:ShardedASketch",
+    "shard-supervisor": "repro.runtime.reliability:ShardSupervisor",
 }
 
 #: Kinds registered at runtime (tests, extensions); shadows builtins.

@@ -1,0 +1,124 @@
+"""Property-based tests for exact crash recovery (hypothesis).
+
+The central reliability invariant: for ANY stream, ANY chunk size, ANY
+checkpoint cadence and ANY crash position, killing the engine at a
+chunk boundary and resuming from the newest checkpoint yields a
+synopsis bit-identical (state and queries) to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asketch import ASketch
+from repro.runtime.reliability import (
+    FaultPlan,
+    ResilientEngine,
+    SimulatedCrash,
+)
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=150
+)
+
+
+def build(seed: int) -> ASketch:
+    return ASketch(total_bytes=2_048, filter_items=4, seed=seed)
+
+
+def chunked(keys: list[int], chunk_size: int) -> list[list[int]]:
+    return [
+        keys[start : start + chunk_size]
+        for start in range(0, len(keys), chunk_size)
+    ]
+
+
+class TestCrashRecoveryInvariant:
+    @given(
+        keys=keys_strategy,
+        chunk_size=st.integers(min_value=1, max_value=9),
+        checkpoint_every=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resume_equals_uninterrupted_run(
+        self, keys, chunk_size, checkpoint_every, seed, data
+    ):
+        chunks = chunked(keys, chunk_size)
+        # Crash anywhere, including past the end (no crash fires) and at
+        # chunk 0 (nothing ingested, store empty, full restart).
+        crash_at = data.draw(
+            st.integers(min_value=0, max_value=len(chunks)),
+            label="crash_at_chunk",
+        )
+
+        reference = build(seed)
+        ResilientEngine(reference).run(chunks)
+
+        with tempfile.TemporaryDirectory() as directory:
+            engine = ResilientEngine(
+                build(seed),
+                checkpoint_dir=directory,
+                checkpoint_every=checkpoint_every,
+            )
+            try:
+                engine.run(
+                    chunks, fault_plan=FaultPlan(crash_at_chunk=crash_at)
+                )
+                crashed = False
+            except SimulatedCrash:
+                crashed = True
+            assert crashed == (crash_at < len(chunks))
+
+            recovered = ResilientEngine(
+                build(seed),
+                checkpoint_dir=directory,
+                checkpoint_every=checkpoint_every,
+            )
+            stats = recovered.resume(chunks)
+
+            assert stats.tuples_ingested == len(keys)
+            assert recovered.synopsis.state().equals(reference.state())
+            for key in set(keys):
+                assert recovered.synopsis.query(key) == reference.query(key)
+
+    @given(
+        keys=keys_strategy,
+        chunk_size=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_double_crash_still_recovers(self, keys, chunk_size, seed):
+        """Crash, resume, crash again mid-replay, resume again."""
+        chunks = chunked(keys, chunk_size)
+        reference = build(seed)
+        ResilientEngine(reference).run(chunks)
+
+        first = max(0, len(chunks) - 1)
+        second = len(chunks)  # past the end: the re-resume finishes
+        with tempfile.TemporaryDirectory() as directory:
+            engine = ResilientEngine(
+                build(seed), checkpoint_dir=directory, checkpoint_every=2
+            )
+            try:
+                engine.run(chunks, fault_plan=FaultPlan(crash_at_chunk=first))
+            except SimulatedCrash:
+                pass
+            middle = ResilientEngine(
+                build(seed), checkpoint_dir=directory, checkpoint_every=2
+            )
+            try:
+                middle.resume(
+                    chunks, fault_plan=FaultPlan(crash_at_chunk=second)
+                )
+            except SimulatedCrash:
+                pass
+            final = ResilientEngine(
+                build(seed), checkpoint_dir=directory, checkpoint_every=2
+            )
+            final.resume(chunks)
+            assert final.synopsis.state().equals(reference.state())

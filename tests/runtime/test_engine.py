@@ -4,9 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.core.asketch import ASketch
-from repro.errors import ConfigurationError
-from repro.runtime.engine import StreamEngine, ThresholdAlert, TopKBoard
+from repro.errors import ConfigurationError, PoisonChunkError
+from repro.runtime.engine import (
+    StreamEngine,
+    ThresholdAlert,
+    TopKBoard,
+    coerce_chunk,
+)
 from repro.streams.zipf import zipf_stream
 
 @pytest.fixture()
@@ -183,3 +190,65 @@ class TestThresholdAlert:
     def test_invalid_threshold(self, asketch):
         with pytest.raises(ConfigurationError):
             ThresholdAlert(asketch, 0)
+
+
+class TestChunkValidation:
+    def test_float_chunk_is_poison_with_index(self, asketch):
+        engine = StreamEngine(asketch)
+        chunks = [np.arange(10), np.arange(10) + 0.5]
+        with pytest.raises(PoisonChunkError) as info:
+            engine.run(chunks)
+        assert info.value.chunk_index == 1
+        assert "float keys" in str(info.value)
+        # The healthy chunk before the poison one was ingested.
+        assert engine.stats.chunks_ingested == 1
+
+    def test_nan_chunk_names_the_nan(self):
+        with pytest.raises(PoisonChunkError, match="NaN"):
+            coerce_chunk(np.array([1.0, np.nan, 3.0]), 7)
+
+    def test_object_chunk_is_poison(self):
+        with pytest.raises(PoisonChunkError, match="object dtype") as info:
+            coerce_chunk(np.array([1, "two", 3], dtype=object), 4)
+        assert info.value.chunk_index == 4
+
+    def test_2d_chunk_is_poison(self):
+        with pytest.raises(PoisonChunkError, match="1-D"):
+            coerce_chunk(np.arange(8).reshape(2, 4), 0)
+
+    def test_negative_counts_are_poison(self):
+        with pytest.raises(PoisonChunkError, match="strict-turnstile"):
+            coerce_chunk(
+                np.arange(3), 0, counts=np.array([1, -2, 3])
+            )
+
+    def test_count_shape_mismatch_is_poison(self):
+        with pytest.raises(PoisonChunkError, match="does not match"):
+            coerce_chunk(np.arange(3), 0, counts=np.arange(4))
+
+    def test_clean_chunk_passes_through_as_int64(self):
+        out = coerce_chunk(np.arange(5, dtype=np.int32), 0)
+        assert out.dtype == np.int64
+        assert out.flags["C_CONTIGUOUS"]
+        assert out.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestConsumerMetering:
+    def test_consumer_seconds_metered_separately(self, asketch, stream):
+        engine = StreamEngine(asketch)
+
+        def slow_consumer(_position):
+            total = 0
+            for value in range(20_000):
+                total += value
+            return total
+
+        engine.every(5_000, slow_consumer)
+        stats = engine.run(stream.chunks(5_000))
+        assert stats.consumer_seconds > 0.0
+        assert stats.consumer_firings == len(stream) // 5_000
+
+    def test_no_consumers_means_zero_consumer_seconds(self, asketch, stream):
+        engine = StreamEngine(asketch)
+        stats = engine.run(stream.chunks(10_000))
+        assert stats.consumer_seconds == 0.0

@@ -1,0 +1,668 @@
+"""Fault-injection tests for the reliability runtime.
+
+Every guarantee the module documents is proven here against the
+deterministic :class:`~repro.runtime.reliability.FaultPlan` harness:
+exact crash recovery (kill at any chunk boundary, resume, states
+bit-identical), corrupt-checkpoint fallback, retry budgets, poison
+quarantine, and graceful shard degradation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import (
+    ConfigurationError,
+    PoisonChunkError,
+    RecoveryError,
+    RetryExhaustedError,
+    TransientSourceError,
+)
+from repro.persistence import load_synopsis, save_synopsis
+from repro.runtime.reliability import (
+    CheckpointStore,
+    DeadLetterQueue,
+    FaultPlan,
+    ResilientEngine,
+    RetryingSource,
+    RetryPolicy,
+    ShardSupervisor,
+    SimulatedCrash,
+    corrupt_file,
+)
+from repro.streams.zipf import zipf_stream
+
+CHUNK = 1_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(30_000, 8_000, 1.5, seed=91)
+
+
+def make_asketch() -> ASketch:
+    return ASketch(total_bytes=16 * 1024, filter_items=16, seed=5)
+
+
+@pytest.fixture(scope="module")
+def reference_state(stream):
+    """State of an uninterrupted run over the module stream."""
+    synopsis = make_asketch()
+    ResilientEngine(synopsis).run(stream.chunks(CHUNK))
+    return synopsis.state()
+
+
+# -- atomic persistence ------------------------------------------------------
+
+
+class TestAtomicSave:
+    def test_interrupted_save_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-save can never clobber the existing archive."""
+        path = tmp_path / "synopsis.npz"
+        first = make_asketch()
+        first.update(7, 3)
+        save_synopsis(first, path)
+        golden = path.read_bytes()
+
+        import numpy as np_module
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(np_module, "savez_compressed", exploding_savez)
+        second = make_asketch()
+        with pytest.raises(OSError, match="disk full"):
+            save_synopsis(second, path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == golden  # old checkpoint untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # no debris
+        restored = load_synopsis(path)
+        assert restored.query(7) >= 3
+
+    def test_suffixless_path_still_lands_at_npz(self, tmp_path):
+        """The historical np.savez suffix behaviour is preserved."""
+        save_synopsis(make_asketch(), tmp_path / "ckpt")
+        assert (tmp_path / "ckpt.npz").is_file()
+        assert load_synopsis(tmp_path / "ckpt.npz") is not None
+
+
+# -- retrying sources --------------------------------------------------------
+
+
+class TestRetryingSource:
+    def _flaky(self, failures: dict[int, int], n_chunks: int = 5):
+        plan = FaultPlan(transient_errors=failures)
+        return plan.wrap([np.arange(4) + i for i in range(n_chunks)])
+
+    def test_transient_failures_are_retried_through(self):
+        sleeps: list[float] = []
+        source = RetryingSource(
+            self._flaky({1: 2, 3: 1}), seed=4, sleep=sleeps.append
+        )
+        chunks = list(source)
+        assert len(chunks) == 5
+        assert source.retries == 3
+        assert len(sleeps) == 3
+        assert source.chunks_delivered == 5
+        assert source.backoff_seconds == pytest.approx(sum(sleeps))
+
+    def test_backoff_is_deterministic_for_a_seed(self):
+        def run(seed):
+            sleeps: list[float] = []
+            list(
+                RetryingSource(
+                    self._flaky({0: 3}), seed=seed, sleep=sleeps.append
+                )
+            )
+            return sleeps
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)  # jitter decorrelates different seeds
+
+    def test_backoff_grows_exponentially(self):
+        sleeps: list[float] = []
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        list(
+            RetryingSource(
+                self._flaky({0: 3}),
+                default_policy=policy,
+                sleep=sleeps.append,
+            )
+        )
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_exhaustion_raises_with_cause_and_positions(self):
+        source = RetryingSource(
+            self._flaky({2: 99}),
+            default_policy=RetryPolicy(max_retries=3),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(RetryExhaustedError) as info:
+            list(source)
+        assert info.value.chunk_index == 2
+        assert info.value.attempts == 4  # 1 + 3 retries
+        assert isinstance(info.value.__cause__, TransientSourceError)
+
+    def test_per_error_class_policies(self):
+        class FlakyDisk(Exception):
+            pass
+
+        class DiskSource:
+            def __init__(self):
+                self.calls = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                self.calls += 1
+                if self.calls == 1:
+                    raise FlakyDisk("EIO")
+                if self.calls <= 3:
+                    return np.arange(3)
+                raise StopIteration
+
+        source = RetryingSource(
+            DiskSource(),
+            policies={FlakyDisk: RetryPolicy(max_retries=2, jitter=0.0)},
+            sleep=lambda _: None,
+        )
+        assert len(list(source)) == 2  # the FlakyDisk was retried
+        assert source.retries == 1
+
+    def test_unregistered_errors_propagate_untouched(self):
+        class Fatal(Exception):
+            pass
+
+        class BadSource:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise Fatal("not retryable")
+
+        with pytest.raises(Fatal):
+            next(iter(RetryingSource(BadSource(), sleep=lambda _: None)))
+
+
+# -- dead letters ------------------------------------------------------------
+
+
+class TestDeadLetterQueue:
+    def test_capacity_bounds_retention(self):
+        queue = DeadLetterQueue(capacity=2)
+        for index in range(5):
+            queue.quarantine(index, [index], "bad")
+        assert len(queue) == 2
+        assert queue.quarantined == 5
+        assert queue.dropped == 3
+        assert queue.chunk_indices() == [0, 1]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DeadLetterQueue(capacity=0)
+
+    def test_engine_quarantines_poison_and_keeps_ingesting(self, stream):
+        synopsis = make_asketch()
+        engine = ResilientEngine(synopsis)
+        plan = FaultPlan(seed=3, poison_chunks={2, 7, 11})
+        stats = engine.run(stream.chunks(CHUNK), fault_plan=plan)
+        # Three chunks quarantined, the rest ingested.
+        assert engine.dead_letters.chunk_indices() == [2, 7, 11]
+        assert stats.tuples_ingested == len(stream) - 3 * CHUNK
+        assert synopsis.total_mass == len(stream) - 3 * CHUNK
+        for letter in engine.dead_letters.letters:
+            assert letter.reason  # validation failure recorded
+        health = engine.health()
+        assert health["status"] == "degraded"
+        assert health["quarantined"] == 3
+
+    def test_poison_variants_all_rejected(self):
+        chunk = np.arange(8, dtype=np.int64)
+        plan = FaultPlan(seed=0)
+        from repro.runtime.engine import coerce_chunk
+
+        for index in range(12):  # sweeps all three poison variants
+            payload = plan.poison_payload(chunk, index)
+            with pytest.raises(PoisonChunkError):
+                coerce_chunk(payload, index)
+
+
+# -- checkpoint store --------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip_with_positions(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        synopsis = make_asketch()
+        synopsis.update(42, 9)
+        record = store.save(synopsis, chunk_index=6, tuples_ingested=6_000)
+        assert record["generation"] == 0
+        loaded, loaded_record = store.load_latest()
+        assert loaded_record["chunk_index"] == 6
+        assert loaded_record["tuples_ingested"] == 6_000
+        assert loaded.state().equals(synopsis.state())
+
+    def test_generation_rotation_prunes_old_snapshots(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        synopsis = make_asketch()
+        for position in range(5):
+            store.save(
+                synopsis,
+                chunk_index=position,
+                tuples_ingested=position * CHUNK,
+            )
+        snapshots = sorted(p.name for p in tmp_path.glob("gen-*.npz"))
+        assert snapshots == ["gen-00000003.npz", "gen-00000004.npz"]
+        # The journal keeps the full history even after pruning.
+        assert [r["generation"] for r in store.journal_records()] == list(
+            range(5)
+        )
+
+    def test_corrupt_latest_falls_back_one_generation(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        synopsis = make_asketch()
+        synopsis.update(1, 5)
+        store.save(synopsis, chunk_index=3, tuples_ingested=3_000)
+        synopsis.update(2, 5)
+        record = store.save(synopsis, chunk_index=6, tuples_ingested=6_000)
+        corrupt_file(store.snapshot_path(record["generation"]), seed=9)
+        loaded, loaded_record = store.load_latest()
+        assert loaded_record["generation"] == 0
+        assert loaded_record["chunk_index"] == 3
+        assert loaded.query(2) == 0  # generation 0 predates key 2
+
+    def test_all_generations_corrupt_raises_recovery_error(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        synopsis = make_asketch()
+        for position in range(2):
+            record = store.save(
+                synopsis, chunk_index=position, tuples_ingested=position
+            )
+            corrupt_file(store.snapshot_path(record["generation"]), seed=1)
+        with pytest.raises(RecoveryError, match="no recoverable checkpoint"):
+            store.load_latest()
+
+    def test_empty_store_loads_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest() is None
+
+    def test_torn_journal_line_is_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_asketch(), chunk_index=4, tuples_ingested=4_000)
+        with open(store.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"generation": 1, "snapsho')  # torn mid-crash
+        assert [r["generation"] for r in store.journal_records()] == [0]
+        loaded, record = store.load_latest()
+        assert record["generation"] == 0
+
+    def test_invalid_keep_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path, keep=0)
+
+
+# -- crash recovery ----------------------------------------------------------
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_at", [1, 4, 13, 29])
+    def test_kill_at_any_chunk_boundary_recovers_exactly(
+        self, tmp_path, stream, reference_state, crash_at
+    ):
+        directory = tmp_path / f"crash-{crash_at}"
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=directory, checkpoint_every=3
+        )
+        with pytest.raises(SimulatedCrash):
+            engine.run(
+                stream.chunks(CHUNK),
+                fault_plan=FaultPlan(crash_at_chunk=crash_at),
+            )
+        # Exactly crash_at chunks made it in before the "kill -9".
+        assert engine.stats.tuples_ingested == crash_at * CHUNK
+
+        recovered = ResilientEngine(
+            make_asketch(), checkpoint_dir=directory, checkpoint_every=3
+        )
+        stats = recovered.resume(stream.chunks(CHUNK))
+        assert stats.tuples_ingested == len(stream)
+        assert recovered.synopsis.state().equals(reference_state)
+
+    def test_crash_before_first_checkpoint_restarts_cleanly(
+        self, tmp_path, stream, reference_state
+    ):
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=10
+        )
+        with pytest.raises(SimulatedCrash):
+            engine.run(
+                stream.chunks(CHUNK), fault_plan=FaultPlan(crash_at_chunk=2)
+            )
+        assert engine.store.load_latest() is None  # nothing checkpointed yet
+        recovered = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=10
+        )
+        recovered.resume(stream.chunks(CHUNK))
+        assert recovered.synopsis.state().equals(reference_state)
+
+    def test_corrupt_latest_checkpoint_falls_back_and_recovers(
+        self, tmp_path, stream, reference_state
+    ):
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=3
+        )
+        plan = FaultPlan(crash_at_chunk=14, corrupt_checkpoint_after=4, seed=8)
+        with pytest.raises(SimulatedCrash):
+            engine.run(stream.chunks(CHUNK), fault_plan=plan)
+
+        recovered = ResilientEngine(checkpoint_dir=tmp_path, checkpoint_every=3)
+        recovered.resume(stream.chunks(CHUNK))
+        # Fell back to generation 2 (chunk 9) and replayed the longer suffix.
+        assert recovered.synopsis.state().equals(reference_state)
+
+    def test_resume_without_checkpoint_or_synopsis_raises(self, tmp_path):
+        engine = ResilientEngine(checkpoint_dir=tmp_path)
+        with pytest.raises(RecoveryError, match="nothing to resume"):
+            engine.resume([np.arange(4)])
+
+    def test_resume_requires_checkpoint_dir(self):
+        engine = ResilientEngine(make_asketch())
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            engine.resume([np.arange(4)])
+
+    def test_resume_after_clean_finish_is_a_no_op(self, tmp_path, stream):
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=4
+        )
+        engine.run(stream.chunks(CHUNK))
+        final_state = engine.synopsis.state()
+        again = ResilientEngine(checkpoint_dir=tmp_path, checkpoint_every=4)
+        stats = again.resume(stream.chunks(CHUNK))
+        assert stats.tuples_ingested == len(stream)
+        assert again.synopsis.state().equals(final_state)
+
+    def test_recovery_with_quarantined_chunks_in_suffix(
+        self, tmp_path, stream
+    ):
+        """Poison chunks replay deterministically across the crash."""
+        plan_faults = dict(seed=2, poison_chunks=frozenset({5, 16}))
+        reference = make_asketch()
+        ResilientEngine(reference).run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(**plan_faults)
+        )
+
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=3
+        )
+        with pytest.raises(SimulatedCrash):
+            engine.run(
+                stream.chunks(CHUNK),
+                fault_plan=FaultPlan(crash_at_chunk=14, **plan_faults),
+            )
+        recovered = ResilientEngine(checkpoint_dir=tmp_path, checkpoint_every=3)
+        recovered.resume(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(**plan_faults)
+        )
+        assert recovered.synopsis.state().equals(reference.state())
+
+    def test_consumers_fast_forward_past_restored_position(
+        self, tmp_path, stream
+    ):
+        firings: list[int] = []
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=4
+        )
+        engine.every(5_000, firings.append)
+        with pytest.raises(SimulatedCrash):
+            engine.run(
+                stream.chunks(CHUNK), fault_plan=FaultPlan(crash_at_chunk=13)
+            )
+        pre_crash = list(firings)
+        assert pre_crash == [5_000, 10_000]
+
+        firings.clear()
+        recovered = ResilientEngine(checkpoint_dir=tmp_path, checkpoint_every=4)
+        recovered.every(5_000, firings.append)
+        recovered.resume(stream.chunks(CHUNK))
+        # Restored at chunk 12 (position 12_000): 5k and 10k had already
+        # fired pre-crash; the resumed run fires only the remainder.
+        assert firings == [15_000, 20_000, 25_000, 30_000]
+
+
+# -- shard degradation -------------------------------------------------------
+
+
+class TestShardSupervisor:
+    def make_supervisor(self) -> ShardSupervisor:
+        return ShardSupervisor(
+            shards=4, total_bytes=8 * 1024, filter_items=8, seed=3
+        )
+
+    def test_forced_shard_failure_never_escapes_run(self, stream):
+        supervisor = self.make_supervisor()
+        engine = ResilientEngine(supervisor)
+        stats = engine.run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(10, 2))
+        )
+        assert stats.tuples_ingested == len(stream)  # nothing lost
+        assert supervisor.failed_shards == [2]
+        health = engine.health()
+        assert health["status"] == "degraded"
+        statuses = [entry["status"] for entry in health["shards"]]
+        assert statuses == ["ok", "ok", "failed", "ok"]
+        assert health["shards"][2]["standby_tuples"] > 0
+        assert "injected failure" in health["shards"][2]["error"]
+
+    def test_degraded_estimates_stay_one_sided(self, stream):
+        supervisor = self.make_supervisor()
+        ResilientEngine(supervisor).run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(7, 1))
+        )
+        probes = np.unique(stream.keys[:4_000])
+        estimates = supervisor.query_batch(probes)
+        exact = stream.exact
+        for key, estimate in zip(probes.tolist(), estimates):
+            assert estimate >= exact.count_of(key), key
+        assert supervisor.total_mass == len(stream)
+
+    def test_query_batch_matches_scalar_queries_when_degraded(self, stream):
+        supervisor = self.make_supervisor()
+        ResilientEngine(supervisor).run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(3, 0))
+        )
+        probes = stream.keys[:500].tolist()
+        assert supervisor.query_batch(probes) == [
+            supervisor.query(key) for key in probes
+        ]
+
+    def test_real_exception_inside_shard_degrades(self, stream):
+        supervisor = self.make_supervisor()
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("simulated backend fault")
+
+        supervisor.group.shards[3].process_batch = explode  # type: ignore
+        supervisor.process_batch(stream.keys[:5_000])
+        if 3 in {int(i) for i in supervisor.failed_shards}:
+            assert "RuntimeError" in supervisor.shard_health()[3]["error"]
+        # Whether shard 3 saw traffic or not, ingest never raised and the
+        # group still answers queries.
+        assert supervisor.query(int(stream.keys[0])) >= 0
+
+    def test_top_k_still_answers_when_degraded(self, stream):
+        supervisor = self.make_supervisor()
+        engine = ResilientEngine(supervisor)
+        engine.run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(20, 2))
+        )
+        top = supervisor.top_k(5)
+        assert len(top) == 5
+        heaviest_true = max(stream.exact.items(), key=lambda kv: kv[1])[0]
+        assert heaviest_true in {key for key, _ in top}
+
+    def test_state_roundtrip_preserves_degradation(self, stream):
+        supervisor = self.make_supervisor()
+        ResilientEngine(supervisor).run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(5, 1))
+        )
+        restored = ShardSupervisor.from_state(supervisor.state())
+        assert restored.failed_shards == [1]
+        assert restored.state().equals(supervisor.state())
+        probes = stream.keys[:200].tolist()
+        assert restored.query_batch(probes) == supervisor.query_batch(probes)
+
+    def test_checkpoint_roundtrip_through_persistence(self, tmp_path, stream):
+        supervisor = self.make_supervisor()
+        ResilientEngine(supervisor).run(
+            stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(5, 1))
+        )
+        save_synopsis(supervisor, tmp_path / "supervised.npz")
+        restored = load_synopsis(tmp_path / "supervised.npz")
+        assert isinstance(restored, ShardSupervisor)
+        assert restored.failed_shards == [1]
+        assert restored.state().equals(supervisor.state())
+
+    def test_crash_recovery_of_supervised_group(self, tmp_path, stream):
+        reference = self.make_supervisor()
+        ResilientEngine(reference).run(stream.chunks(CHUNK))
+
+        engine = ResilientEngine(
+            self.make_supervisor(),
+            checkpoint_dir=tmp_path,
+            checkpoint_every=4,
+        )
+        with pytest.raises(SimulatedCrash):
+            engine.run(
+                stream.chunks(CHUNK), fault_plan=FaultPlan(crash_at_chunk=17)
+            )
+        recovered = ResilientEngine(checkpoint_dir=tmp_path, checkpoint_every=4)
+        recovered.resume(stream.chunks(CHUNK))
+        assert recovered.synopsis.state().equals(reference.state())
+
+    def test_spec_construction(self):
+        from repro.synopses.spec import SynopsisSpec, build_synopsis
+
+        supervisor = build_synopsis(
+            SynopsisSpec(
+                "shard-supervisor",
+                {"shards": 2, "total_bytes": 4 * 1024, "seed": 1},
+            )
+        )
+        assert isinstance(supervisor, ShardSupervisor)
+        assert len(supervisor) == 2
+
+    def test_merge_unions_failures_and_standbys(self, stream):
+        left = self.make_supervisor()
+        right = self.make_supervisor()
+        half = len(stream) // 2
+        ResilientEngine(left).run(
+            [stream.keys[:half]], fault_plan=FaultPlan(fail_shard=(0, 1))
+        )
+        ResilientEngine(right).run([stream.keys[half:]])
+        left.merge(right)
+        assert left.failed_shards == [1]
+        assert left.total_mass == len(stream)
+        exact = stream.exact
+        for key in np.unique(stream.keys[:1_000]).tolist():
+            assert left.query(key) >= exact.count_of(key)
+
+    def test_update_fails_over_to_standby(self):
+        supervisor = self.make_supervisor()
+        supervisor.update(123, 4)
+        owner = supervisor.group.shard_of(123)
+        supervisor.inject_failure(owner)
+        supervisor.update(123, 6)
+        assert supervisor.failed_shards == [owner]
+        assert supervisor.query(123) >= 10  # frozen(4) + standby(6)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor()  # neither a group nor parameters
+        group = ShardSupervisor(shards=2, total_bytes=4096, seed=0).group
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(group, shards=2, total_bytes=4096)
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(group, standby_hashes=0)
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(group).inject_failure(99)
+
+
+# -- engine health & retry integration ---------------------------------------
+
+
+class TestEngineHealthAndRetries:
+    def test_health_reports_checkpoint_lag_and_retries(self, tmp_path, stream):
+        engine = ResilientEngine(
+            make_asketch(),
+            checkpoint_dir=tmp_path,
+            checkpoint_every=4,
+            sleep=lambda _: None,
+        )
+        plan = FaultPlan(transient_errors={3: 2, 9: 1}, crash_at_chunk=10)
+        with pytest.raises(SimulatedCrash):
+            engine.run(stream.chunks(CHUNK), fault_plan=plan)
+        health = engine.health()
+        assert health["retries"] == 3
+        assert health["backoff_seconds"] > 0
+        assert health["checkpoint"]["chunk_index"] == 8
+        assert health["checkpoint_lag_chunks"] == 2  # chunks 8 and 9
+        assert health["source_chunks_seen"] == 10
+
+    def test_retry_exhaustion_escapes_run(self, stream):
+        engine = ResilientEngine(
+            make_asketch(),
+            default_retry_policy=RetryPolicy(max_retries=1),
+            sleep=lambda _: None,
+        )
+        plan = FaultPlan(transient_errors={2: 50})
+        with pytest.raises(RetryExhaustedError):
+            engine.run(stream.chunks(CHUNK), fault_plan=plan)
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResilientEngine()  # nothing to drive, nothing to resume
+        with pytest.raises(ConfigurationError):
+            ResilientEngine(make_asketch(), checkpoint_every=0)
+        with pytest.raises(ConfigurationError):
+            ResilientEngine(make_asketch()).every(0, lambda _: None)
+
+    def test_fail_shard_requires_supervisor(self, stream):
+        engine = ResilientEngine(make_asketch())
+        with pytest.raises(ConfigurationError, match="ShardSupervisor"):
+            engine.run(
+                stream.chunks(CHUNK), fault_plan=FaultPlan(fail_shard=(0, 0))
+            )
+
+
+# -- journal format sanity ---------------------------------------------------
+
+
+class TestJournalFormat:
+    def test_journal_records_are_json_lines_with_positions(
+        self, tmp_path, stream
+    ):
+        engine = ResilientEngine(
+            make_asketch(), checkpoint_dir=tmp_path, checkpoint_every=10
+        )
+        engine.run(stream.chunks(CHUNK))
+        lines = (
+            (tmp_path / "journal.jsonl").read_text().strip().splitlines()
+        )
+        records = [json.loads(line) for line in lines]
+        assert [r["chunk_index"] for r in records] == [10, 20, 30]
+        assert records[-1]["tuples_ingested"] == len(stream)
+        for record in records:
+            assert set(record) >= {
+                "generation",
+                "snapshot",
+                "chunk_index",
+                "tuples_ingested",
+                "sha256",
+            }
