@@ -1,0 +1,180 @@
+"""Record the repo's performance trajectory into ``BENCH_core_ops.json``.
+
+Each invocation runs a fixed set of core-path benches (scalar ingest,
+batched ingest, sharded ingest, point queries) with the
+:mod:`repro.obs` registry installed, then writes one JSON document
+mapping bench id to throughput and chunk-latency quantiles, stamped
+with the git sha and a timestamp::
+
+    python benchmarks/record_trajectory.py [--output BENCH_core_ops.json]
+
+The committed ``BENCH_core_ops.json`` at the repo root is the
+trajectory: re-running after a perf-relevant change and committing the
+refreshed file records how throughput moved across PRs.  Latencies are
+read from the ``engine_chunk_seconds`` histogram (p50/p99 via linear
+interpolation inside the matching bucket), so the numbers reported here
+are exactly what a Prometheus scrape of a production ingest would see.
+
+Set ``REPRO_BENCH_TINY=1`` (or pass ``--tiny``) to shrink the streams
+for the CI metrics-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs import install_registry, uninstall_registry  # noqa: E402
+from repro.runtime.engine import StreamEngine  # noqa: E402
+from repro.runtime.sharding import ShardedASketch  # noqa: E402
+from repro.streams.zipf import zipf_stream  # noqa: E402
+from repro.synopses.spec import SynopsisSpec, build_synopsis  # noqa: E402
+
+SCHEMA = "repro-bench-trajectory/v1"
+
+ASKETCH_SPEC = SynopsisSpec(
+    "asketch", {"total_bytes": 128 * 1024, "filter_items": 32}
+)
+
+
+def _git_sha() -> str:
+    """The current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _engine_summary(engine: StreamEngine, registry) -> dict:
+    """One bench's record: throughput plus chunk-latency quantiles."""
+    histogram = registry.get("engine_chunk_seconds")
+    stats = engine.stats
+    return {
+        "items": stats.tuples_ingested,
+        "chunks": stats.chunks_ingested,
+        "items_per_s": round(
+            1000.0 * stats.wall_throughput_items_per_ms, 2
+        ),
+        "p50_chunk_seconds": round(histogram.quantile(0.50), 6),
+        "p99_chunk_seconds": round(histogram.quantile(0.99), 6),
+    }
+
+
+def _run_ingest_bench(synopsis, keys, chunk_size: int, batched: bool) -> dict:
+    registry = install_registry()
+    try:
+        engine = StreamEngine(synopsis, batched=batched)
+        for offset in range(0, keys.shape[0], chunk_size):
+            engine.run([keys[offset : offset + chunk_size]])
+        return _engine_summary(engine, registry)
+    finally:
+        uninstall_registry()
+
+
+def _query_bench(keys, queries) -> dict:
+    """Point-query throughput over a warm ASketch (no engine involved)."""
+    asketch = build_synopsis(ASKETCH_SPEC.with_params(seed=65))
+    asketch.process_batch(keys)
+    start = time.perf_counter()
+    asketch.query_batch(queries)
+    elapsed = time.perf_counter() - start
+    return {
+        "items": int(queries.shape[0]),
+        "chunks": 1,
+        "items_per_s": round(queries.shape[0] / elapsed, 2)
+        if elapsed > 0
+        else 0.0,
+        "p50_chunk_seconds": round(elapsed, 6),
+        "p99_chunk_seconds": round(elapsed, 6),
+    }
+
+
+def record(tiny: bool) -> dict:
+    """Run every bench and return the trajectory document."""
+    items = 60_000 if tiny else 400_000
+    domain = 20_000 if tiny else 100_000
+    chunk_size = 10_000
+    stream = zipf_stream(items, domain, 1.5, seed=61)
+    keys = stream.keys
+
+    benches = {
+        "scalar_ingest": _run_ingest_bench(
+            build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
+            keys,
+            chunk_size,
+            batched=False,
+        ),
+        "batched_ingest": _run_ingest_bench(
+            build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
+            keys,
+            chunk_size,
+            batched=True,
+        ),
+        "sharded_ingest": _run_ingest_bench(
+            ShardedASketch(shards=4, total_bytes=32 * 1024, seed=64),
+            keys,
+            chunk_size,
+            batched=True,
+        ),
+        "batch_query": _query_bench(keys, keys[:20_000]),
+    }
+    return {
+        "schema": SCHEMA,
+        "git_sha": _git_sha(),
+        "generated_unix": time.time(),
+        "tiny": tiny,
+        "benches": benches,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; writes the trajectory JSON and prints a summary."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(_REPO_ROOT / "BENCH_core_ops.json"),
+        help="output JSON path (default: repo-root BENCH_core_ops.json)",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="shrink streams (CI smoke mode; REPRO_BENCH_TINY=1 also works)",
+    )
+    args = parser.parse_args(argv)
+    tiny = args.tiny or os.environ.get("REPRO_BENCH_TINY", "0") not in (
+        "0",
+        "",
+    )
+    document = record(tiny)
+    path = Path(args.output)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    for bench_id, row in sorted(document["benches"].items()):
+        print(
+            f"{bench_id:16s} {row['items_per_s']:>12.0f} items/s  "
+            f"p50 {row['p50_chunk_seconds'] * 1000:.2f} ms  "
+            f"p99 {row['p99_chunk_seconds'] * 1000:.2f} ms"
+        )
+    print(f"trajectory written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

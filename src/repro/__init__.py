@@ -61,6 +61,20 @@ from repro.runtime import (
     ThresholdAlert,
     TopKBoard,
 )
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    current_registry,
+    install_registry,
+    install_tracer,
+    render_prometheus,
+    snapshot_metrics,
+    trace_span,
+    uninstall_registry,
+    uninstall_tracer,
+    validate_metrics_json,
+    write_metrics_json,
+)
 from repro.persistence import (
     load_asketch,
     load_count_min,
@@ -110,6 +124,8 @@ __all__ = [
     "HolisticUDAF",
     "KernelGroup",
     "LossyCounting",
+    "MetricsRegistry",
+    "MetricsServer",
     "MisraGries",
     "OpCounters",
     "PipelineSimulator",
@@ -135,6 +151,9 @@ __all__ = [
     "VectorFilter",
     "__version__",
     "build_synopsis",
+    "current_registry",
+    "install_registry",
+    "install_tracer",
     "ip_trace_stream",
     "kosarak_stream",
     "load_asketch",
@@ -144,10 +163,17 @@ __all__ = [
     "make_filter",
     "register_synopsis",
     "registered_kinds",
+    "render_prometheus",
     "save_asketch",
     "save_count_min",
     "save_hierarchical",
     "save_synopsis",
+    "snapshot_metrics",
+    "trace_span",
     "uniform_stream",
+    "uninstall_registry",
+    "uninstall_tracer",
+    "validate_metrics_json",
+    "write_metrics_json",
     "zipf_stream",
 ]

@@ -7,9 +7,12 @@ Usage::
     repro-asketch run figure5 --scale 0.25 --seed 3
     repro-asketch run all --scale 0.1
     repro-asketch run asketch --checkpoint-dir ckpts --checkpoint-every 8
+    repro-asketch run zipf --metrics-json metrics.json
     repro-asketch resume ckpts --top-k 10
     repro-asketch checkpoint asketch.npz --method asketch --skew 1.5
     repro-asketch restore asketch.npz --top-k 10
+    repro-asketch serve-metrics --port 9100 --scale 0.5
+    repro-asketch health --checkpoint-dir ckpts
 
 With ``--checkpoint-dir``, ``run`` switches from the experiment harness
 to a fault-tolerant streaming ingest: the positional argument names a
@@ -26,6 +29,17 @@ un-checkpointed suffix of the stream.
 recovery failed (all checkpoint generations corrupt, or an error while
 replaying); ``2`` — usage error (missing checkpoint directory or
 ``run-manifest.json``).
+
+Observability (:mod:`repro.obs`): ``run`` accepts ``--metrics-json
+PATH`` (write a schema-checked JSON metrics snapshot after the run,
+also embedded into ``run-manifest.json`` for checkpointed ingests) and
+``--trace-jsonl PATH`` (structured span/point trace).  The positional
+``zipf`` / ``uniform`` selects a plain streaming ingest of that stream
+through the default ASketch.  ``serve-metrics`` runs an ingest with a
+stdlib HTTP scrape endpoint at ``/metrics`` (Prometheus text) and
+``/metrics.json``; ``health --checkpoint-dir DIR`` inspects the newest
+checkpoint and exits ``0`` (healthy), ``1`` (degraded or unreadable),
+``2`` (usage error / no checkpoints).
 """
 
 from __future__ import annotations
@@ -128,6 +142,83 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.5,
         help="Zipf skew of the ingested stream (with --checkpoint-dir)",
     )
+    run_parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSON metrics snapshot (schema repro-metrics/v1) "
+            "after the run"
+        ),
+    )
+    run_parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write structured trace events (ingest/exchange/checkpoint "
+            "spans) as JSON lines"
+        ),
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve-metrics",
+        help=(
+            "ingest a stream with a live Prometheus/JSON metrics "
+            "endpoint at /metrics"
+        ),
+    )
+    serve_parser.add_argument(
+        "--method",
+        default="asketch",
+        help="synopsis method to ingest into (default asketch)",
+    )
+    serve_parser.add_argument(
+        "--stream",
+        default="zipf",
+        choices=["zipf", "uniform"],
+        help="stream generator (default zipf)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0 = ephemeral, printed on start)",
+    )
+    serve_parser.add_argument("--scale", type=float, default=1.0)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--skew", type=float, default=1.5)
+    serve_parser.add_argument("--synopsis-kb", type=int, default=128)
+    serve_parser.add_argument("--filter-items", type=int, default=32)
+    serve_parser.add_argument(
+        "--filter-kind",
+        default="relaxed-heap",
+        choices=["vector", "strict-heap", "relaxed-heap", "stream-summary"],
+    )
+    serve_parser.add_argument("--chunk-size", type=int, default=10_000)
+    serve_parser.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help=(
+            "seconds to keep serving after the stream ends "
+            "(default 0; use a large value for scrape-and-watch runs)"
+        ),
+    )
+
+    health_parser = subparsers.add_parser(
+        "health",
+        help=(
+            "inspect the newest checkpoint of a resilient run; "
+            "exit 0 healthy, 1 degraded"
+        ),
+    )
+    health_parser.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="checkpoint directory of a 'run --checkpoint-dir' ingest",
+    )
 
     report_parser = subparsers.add_parser(
         "report",
@@ -225,15 +316,88 @@ def _manifest_config(manifest: dict) -> "ExperimentConfig":
 
 
 def _manifest_stream(manifest: dict):
+    from repro.streams.uniform import uniform_stream
     from repro.streams.zipf import zipf_stream
 
     config = _manifest_config(manifest)
+    if manifest.get("stream", "zipf") == "uniform":
+        return uniform_stream(
+            config.stream_size, config.distinct, seed=int(manifest["seed"])
+        )
     return zipf_stream(
         config.stream_size,
         config.distinct,
         float(manifest["skew"]),
         seed=int(manifest["seed"]),
     )
+
+
+def _registry_derived(registry) -> dict:
+    """Paper-facing summary statistics computed from raw counters.
+
+    ``filter_hit_rate`` observes Fig. 6-9's hit-rate claim and
+    ``exchange_count`` Alg. 1's decaying exchange frequency (see
+    DESIGN.md §10 for the full metric-to-paper mapping).
+    """
+    items = registry.value("asketch_items_total")
+    hits = registry.value("asketch_filter_hits_total")
+    return {
+        "filter_hit_rate": (hits / items) if items else 0.0,
+        "filter_miss_count": registry.value("asketch_filter_misses_total"),
+        "exchange_count": registry.value("asketch_exchanges_total"),
+    }
+
+
+def _ingest_derived(engine, registry) -> dict:
+    """:func:`_registry_derived` plus the resilient run's checkpoint view."""
+    health = engine.health()
+    derived = _registry_derived(registry)
+    derived.update(
+        {
+            "checkpoint": health["checkpoint"],
+            "checkpoint_lag_chunks": health["checkpoint_lag_chunks"],
+            "checkpoints_written": registry.value("checkpoints_total"),
+            "quarantined_chunks": health["quarantined"],
+            "status": health["status"],
+        }
+    )
+    return derived
+
+
+class _Observability:
+    """Install/teardown of the run-scoped registry and trace sink.
+
+    The CLI installs a fresh registry per observed run (so snapshots
+    cover exactly that run) and, with ``--trace-jsonl``, a
+    :class:`~repro.obs.trace.JsonlTraceWriter`; both are uninstalled
+    on exit even when the run fails.
+    """
+
+    def __init__(self, trace_jsonl: str | None = None) -> None:
+        self.trace_jsonl = trace_jsonl
+        self.registry = None
+        self._writer = None
+
+    def __enter__(self):
+        from repro.obs import (
+            JsonlTraceWriter,
+            install_registry,
+            install_tracer,
+        )
+
+        self.registry = install_registry()
+        if self.trace_jsonl is not None:
+            self._writer = JsonlTraceWriter(self.trace_jsonl)
+            install_tracer(self._writer)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        from repro.obs import uninstall_registry, uninstall_tracer
+
+        if self._writer is not None:
+            uninstall_tracer()
+            self._writer.close()
+        uninstall_registry()
 
 
 def _print_ingest_summary(engine, stats) -> None:
@@ -249,6 +413,36 @@ def _print_ingest_summary(engine, stats) -> None:
     )
 
 
+#: Positional ``run`` targets naming a *stream* rather than a method:
+#: they trigger a streaming ingest of that stream through the default
+#: ASketch even without ``--checkpoint-dir``.
+_STREAM_TARGETS = ("zipf", "uniform")
+
+
+def _write_run_metrics(args, registry, engine, directory) -> None:
+    """Write the ``--metrics-json`` snapshot and embed it in the manifest.
+
+    Both views carry the same derived block (hit rate, exchanges,
+    checkpoint position); the manifest embedding makes a checkpointed
+    run's final metrics recoverable alongside its parameters.
+    """
+    import json
+
+    from repro.obs import snapshot_metrics, write_metrics_json
+
+    derived = _ingest_derived(engine, registry)
+    if args.metrics_json is not None:
+        write_metrics_json(args.metrics_json, registry, derived=derived)
+        print(f"metrics snapshot written to {args.metrics_json}")
+    if directory is not None:
+        manifest_path = directory / _MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["metrics"] = snapshot_metrics(registry, derived=derived)
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+
+
 def _run_resilient(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -256,6 +450,10 @@ def _run_resilient(args: argparse.Namespace) -> int:
     from repro.runtime.reliability import ResilientEngine
     from repro.synopses.spec import build_synopsis
 
+    method = args.experiment
+    stream_name = "zipf"
+    if method in _STREAM_TARGETS:
+        stream_name, method = method, "asketch"
     config = ExperimentConfig(
         scale=args.scale,
         seed=args.seed,
@@ -263,10 +461,11 @@ def _run_resilient(args: argparse.Namespace) -> int:
         filter_items=args.filter_items,
         filter_kind=args.filter_kind,
     )
-    spec = config.spec_for(args.experiment, seed=args.seed)
+    spec = config.spec_for(method, seed=args.seed)
     synopsis = build_synopsis(spec)
     manifest = {
-        "method": args.experiment,
+        "method": method,
+        "stream": stream_name,
         "scale": args.scale,
         "seed": args.seed,
         "skew": args.skew,
@@ -276,20 +475,114 @@ def _run_resilient(args: argparse.Namespace) -> int:
         "chunk_size": args.chunk_size,
         "checkpoint_every": args.checkpoint_every,
     }
-    directory = Path(args.checkpoint_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    (directory / _MANIFEST_NAME).write_text(
-        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
-    )
+    directory = None
+    if args.checkpoint_dir is not None:
+        directory = Path(args.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / _MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
     engine = ResilientEngine(
         synopsis,
         checkpoint_dir=directory,
         checkpoint_every=args.checkpoint_every,
     )
     stream = _manifest_stream(manifest)
-    stats = engine.run(stream.chunks(args.chunk_size))
-    _print_ingest_summary(engine, stats)
+    with _Observability(trace_jsonl=args.trace_jsonl) as obs:
+        stats = engine.run(stream.chunks(args.chunk_size))
+        _print_ingest_summary(engine, stats)
+        _write_run_metrics(args, obs.registry, engine, directory)
     return 0
+
+
+def _run_serve_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsServer, install_registry, uninstall_registry
+    from repro.runtime.reliability import ResilientEngine
+    from repro.streams.uniform import uniform_stream
+    from repro.streams.zipf import zipf_stream
+    from repro.synopses.spec import build_synopsis
+
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        synopsis_bytes=args.synopsis_kb * 1024,
+        filter_items=args.filter_items,
+        filter_kind=args.filter_kind,
+    )
+    spec = config.spec_for(args.method, seed=args.seed)
+    synopsis = build_synopsis(spec)
+    if args.stream == "uniform":
+        stream = uniform_stream(
+            config.stream_size, config.distinct, seed=args.seed
+        )
+    else:
+        stream = zipf_stream(
+            config.stream_size, config.distinct, args.skew, seed=args.seed
+        )
+    registry = install_registry()
+    try:
+        with MetricsServer(registry, host=args.host, port=args.port) as server:
+            print(
+                f"serving metrics at {server.url} "
+                "(JSON at /metrics.json); Ctrl-C to stop"
+            )
+            engine = ResilientEngine(synopsis)
+            stats = engine.run(stream.chunks(args.chunk_size))
+            _print_ingest_summary(engine, stats)
+            if args.linger > 0:
+                try:
+                    time.sleep(args.linger)
+                except KeyboardInterrupt:
+                    pass
+    finally:
+        uninstall_registry()
+    return 0
+
+
+def _run_health(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import RecoveryError
+    from repro.runtime.reliability import CheckpointStore, ShardSupervisor
+
+    directory = Path(args.checkpoint_dir)
+    if (
+        not directory.is_dir()
+        or not (directory / CheckpointStore.JOURNAL_NAME).is_file()
+    ):
+        print(
+            f"{directory} has no checkpoint journal; start a run with "
+            "'repro-asketch run <method> --checkpoint-dir ...'",
+            file=sys.stderr,
+        )
+        return 2
+    store = CheckpointStore(directory)
+    try:
+        loaded = store.load_latest()
+    except RecoveryError as exc:
+        print(
+            json.dumps({"status": "unreadable", "detail": str(exc)}, indent=2)
+        )
+        return 1
+    if loaded is None:
+        print(f"no checkpoints recorded in {directory}", file=sys.stderr)
+        return 2
+    synopsis, record = loaded
+    report = {
+        "status": "ok",
+        "generation": record["generation"],
+        "chunk_index": record["chunk_index"],
+        "tuples_ingested": record["tuples_ingested"],
+        "synopsis_kind": type(synopsis).SYNOPSIS_KIND,
+    }
+    if isinstance(synopsis, ShardSupervisor):
+        shards = synopsis.shard_health()
+        report["shards"] = shards
+        if any(s["status"] != ShardSupervisor.STATUS_OK for s in shards):
+            report["status"] = "degraded"
+    print(json.dumps(report, indent=2))
+    return 0 if report["status"] == "ok" else 1
 
 
 def _run_resume(args: argparse.Namespace) -> int:
@@ -410,6 +703,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error during {args.command}: {exc}", file=sys.stderr)
             return 1
 
+    if args.command == "serve-metrics":
+        try:
+            return _run_serve_metrics(args)
+        except ReproError as exc:
+            print(f"error during serve-metrics: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "health":
+        try:
+            return _run_health(args)
+        except ReproError as exc:
+            print(f"error during health check: {exc}", file=sys.stderr)
+            return 1
+
     if args.command == "report":
         from repro.experiments.report import write_report
 
@@ -422,7 +729,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"report written to {path}")
         return 0
 
-    if args.checkpoint_dir is not None:
+    if args.checkpoint_dir is not None or args.experiment in _STREAM_TARGETS:
         try:
             return _run_resilient(args)
         except ReproError as exc:
@@ -447,6 +754,24 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.metrics_json is None and args.trace_jsonl is None:
+        return _run_experiments(targets, config)
+    with _Observability(trace_jsonl=args.trace_jsonl) as obs:
+        code = _run_experiments(targets, config)
+        if code == 0 and args.metrics_json is not None:
+            from repro.obs import write_metrics_json
+
+            write_metrics_json(
+                args.metrics_json,
+                obs.registry,
+                derived=_registry_derived(obs.registry),
+            )
+            print(f"metrics snapshot written to {args.metrics_json}")
+    return code
+
+
+def _run_experiments(targets: list[str], config: ExperimentConfig) -> int:
+    """Run each experiment id in turn, printing its formatted rows."""
     for experiment_id in targets:
         start = time.perf_counter()
         try:

@@ -31,11 +31,15 @@ turnstile model via :meth:`remove`.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.filters import Filter, make_filter
 from repro.errors import ConfigurationError, NegativeCountError
 from repro.hardware.costs import OpCounters
+from repro.obs.registry import MetricsRegistry, current_registry
+from repro.obs.trace import current_tracer, trace_point
 from repro.sketches.base import FrequencySketch
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
@@ -258,6 +262,14 @@ class ASketch:
             )
             self.ops.exchanges += 1
             exchanges_done += 1
+            if current_tracer() is not None:
+                trace_point(
+                    "exchange",
+                    key=int(current_key),
+                    evicted=int(evicted.key),
+                    estimate=int(current_estimate),
+                    items_seen=int(self.ops.items),
+                )
             if current_key == key:
                 # The incoming item now lives in the filter; its estimate
                 # is its new_count there.
@@ -275,10 +287,49 @@ class ASketch:
         return result
 
     def process_stream(self, keys: np.ndarray) -> None:
-        """Process an array of unit-count keys in order."""
+        """Process an array of unit-count keys in order.
+
+        With a metrics registry installed (:mod:`repro.obs`), the
+        call's filter hit/miss/exchange deltas and latency are recorded
+        once per call — state transitions and estimates are identical
+        either way.
+        """
+        registry = current_registry()
+        if registry is None:
+            process = self._process
+            for key in keys.tolist():
+                process(key, 1)
+            return
+        before = (self.ops.items, self.miss_events, self.ops.exchanges)
+        start = time.perf_counter()
         process = self._process
         for key in keys.tolist():
             process(key, 1)
+        self._record_ingest_metrics(
+            registry, before, time.perf_counter() - start
+        )
+
+    def _record_ingest_metrics(
+        self,
+        registry: MetricsRegistry,
+        before: tuple[int, int, int],
+        elapsed: float,
+    ) -> None:
+        """Record one ingest call's deltas into the installed registry.
+
+        ``before`` is the (items, miss_events, exchanges) snapshot taken
+        at call entry.  Hits and misses partition the ingested items
+        (``hits + misses == items``), mirroring Algorithm 1: a tuple is
+        either absorbed by the filter or overflows to the sketch.
+        """
+        items = self.ops.items - before[0]
+        misses = self.miss_events - before[1]
+        exchanges = self.ops.exchanges - before[2]
+        registry.counter("asketch_items_total").inc(items)
+        registry.counter("asketch_filter_hits_total").inc(items - misses)
+        registry.counter("asketch_filter_misses_total").inc(misses)
+        registry.counter("asketch_exchanges_total").inc(exchanges)
+        registry.histogram("asketch_chunk_seconds").observe(elapsed)
 
     def process_batch(
         self, keys: np.ndarray, counts: np.ndarray | None = None
@@ -315,7 +366,29 @@ class ASketch:
 
         ``counts`` defaults to all-ones (a unit-count stream chunk);
         negative counts must go through :meth:`remove`.
+
+        With a metrics registry installed (:mod:`repro.obs`), each
+        chunk records its filter hit/miss/exchange deltas and one
+        latency observation; counters and estimates are bit-identical
+        with or without a registry.
         """
+        registry = current_registry()
+        if registry is None:
+            self._process_batch(keys, counts)
+            return
+        before = (self.ops.items, self.miss_events, self.ops.exchanges)
+        start = time.perf_counter()
+        try:
+            self._process_batch(keys, counts)
+        finally:
+            self._record_ingest_metrics(
+                registry, before, time.perf_counter() - start
+            )
+
+    def _process_batch(
+        self, keys: np.ndarray, counts: np.ndarray | None
+    ) -> None:
+        """The uninstrumented :meth:`process_batch` body."""
         keys = np.asarray(keys, dtype=np.int64)
         n_items = keys.shape[0]
         if counts is None:

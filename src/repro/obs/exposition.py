@@ -1,0 +1,378 @@
+"""Metric exposition: Prometheus text format, JSON snapshots, HTTP.
+
+Three read paths over a :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4), the contract every scraper understands;
+* :func:`snapshot_metrics` / :func:`write_metrics_json` — a JSON-safe
+  snapshot (schema ``repro-metrics/v1``, checked by
+  :func:`validate_metrics_json`), what ``repro-asketch run
+  --metrics-json`` writes and what checkpoint run manifests embed;
+* :class:`MetricsServer` — a stdlib-only HTTP endpoint serving both
+  (``GET /metrics`` text, ``GET /metrics.json``), behind
+  ``repro-asketch serve-metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+)
+
+__all__ = [
+    "render_prometheus",
+    "snapshot_metrics",
+    "write_metrics_json",
+    "validate_metrics_json",
+    "MetricsServer",
+]
+
+#: Schema identifier stamped into every JSON snapshot.
+METRICS_SCHEMA = "repro-metrics/v1"
+
+
+def _require_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    registry = registry if registry is not None else current_registry()
+    if registry is None:
+        raise ValueError(
+            "no registry given and none installed; call "
+            "repro.obs.install_registry() first"
+        )
+    return registry
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = tuple(labels) + extra
+    if not items:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in items
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Defaults to the installed registry.  Counters, gauges and
+    histograms map to their native Prometheus types; histogram buckets
+    render cumulatively with the mandatory ``+Inf`` bucket plus
+    ``_sum`` and ``_count`` series.  Output is sorted by metric name,
+    so it is stable across runs (scrape-diff friendly).
+    """
+    registry = _require_registry(registry)
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.instruments():
+        name = instrument.name
+        if isinstance(instrument, Counter):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{_format_labels(instrument.labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Gauge):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(
+                f"{name}{_format_labels(instrument.labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in instrument.bucket_counts():
+                le = (("le", _format_value(bound)),)
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_format_labels(instrument.labels, le)} {cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_format_labels(instrument.labels)} "
+                f"{_format_value(instrument.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(instrument.labels)} "
+                f"{instrument.count}"
+            )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_metrics(
+    registry: MetricsRegistry | None = None,
+    derived: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A JSON-safe snapshot of a registry (schema ``repro-metrics/v1``).
+
+    ``derived`` attaches caller-computed summary statistics (hit
+    rates, checkpoint positions) without them masquerading as raw
+    instruments.  Histograms carry their cumulative buckets plus p50
+    and p99 estimates, the same quantities the bench trajectory
+    records.
+    """
+    registry = _require_registry(registry)
+    counters: list[dict[str, Any]] = []
+    gauges: list[dict[str, Any]] = []
+    histograms: list[dict[str, Any]] = []
+    for instrument in registry.instruments():
+        entry: dict[str, Any] = {
+            "name": instrument.name,
+            "labels": dict(instrument.labels),
+        }
+        if isinstance(instrument, Counter):
+            entry["value"] = instrument.value
+            counters.append(entry)
+        elif isinstance(instrument, Gauge):
+            entry["value"] = instrument.value
+            gauges.append(entry)
+        elif isinstance(instrument, Histogram):
+            entry["buckets"] = [
+                ["+Inf" if bound == math.inf else bound, cumulative]
+                for bound, cumulative in instrument.bucket_counts()
+            ]
+            entry["sum"] = instrument.sum
+            entry["count"] = instrument.count
+            entry["p50"] = instrument.quantile(0.5)
+            entry["p99"] = instrument.quantile(0.99)
+            histograms.append(entry)
+    return {
+        "schema": METRICS_SCHEMA,
+        "generated_unix": time.time(),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "derived": dict(derived or {}),
+    }
+
+
+def write_metrics_json(
+    path: str | Path,
+    registry: MetricsRegistry | None = None,
+    derived: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write :func:`snapshot_metrics` to ``path``; returns the snapshot."""
+    snapshot = snapshot_metrics(registry, derived)
+    Path(path).write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return snapshot
+
+
+def validate_metrics_json(document: Any) -> list[str]:
+    """Check a snapshot against the ``repro-metrics/v1`` schema.
+
+    Returns a list of human-readable problems (empty = valid) instead
+    of raising, so CI jobs can print every violation at once.  The
+    check is structural — required keys, types, label shapes, bucket
+    monotonicity — and dependency-free by design (no jsonschema).
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"snapshot must be an object, got {type(document).__name__}"]
+    if document.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema must be {METRICS_SCHEMA!r}, got "
+            f"{document.get('schema')!r}"
+        )
+    if not isinstance(document.get("generated_unix"), (int, float)):
+        problems.append("generated_unix must be a number")
+    if not isinstance(document.get("derived"), dict):
+        problems.append("derived must be an object")
+
+    def check_series(section: str, *, histogram: bool) -> None:
+        series = document.get(section)
+        if not isinstance(series, list):
+            problems.append(f"{section} must be a list")
+            return
+        for position, entry in enumerate(series):
+            where = f"{section}[{position}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            if not isinstance(entry.get("name"), str) or not entry.get("name"):
+                problems.append(f"{where}.name must be a non-empty string")
+            labels = entry.get("labels")
+            if not isinstance(labels, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in labels.items()
+            ):
+                problems.append(f"{where}.labels must map strings to strings")
+            if histogram:
+                buckets = entry.get("buckets")
+                if not isinstance(buckets, list) or not buckets:
+                    problems.append(f"{where}.buckets must be a "
+                                    "non-empty list")
+                else:
+                    last = -1
+                    for pair in buckets:
+                        if (
+                            not isinstance(pair, list)
+                            or len(pair) != 2
+                            or not isinstance(pair[1], int)
+                            or pair[1] < last
+                        ):
+                            problems.append(
+                                f"{where}.buckets must hold [bound, "
+                                "cumulative-count] pairs with "
+                                "non-decreasing counts"
+                            )
+                            break
+                        last = pair[1]
+                    if buckets and buckets[-1][0] != "+Inf":
+                        problems.append(
+                            f"{where}.buckets must end with the +Inf bucket"
+                        )
+                for key in ("sum", "count", "p50", "p99"):
+                    if not isinstance(entry.get(key), (int, float)):
+                        problems.append(f"{where}.{key} must be a number")
+            else:
+                if not isinstance(entry.get("value"), (int, float)):
+                    problems.append(f"{where}.value must be a number")
+
+    check_series("counters", histogram=False)
+    check_series("gauges", histogram=False)
+    check_series("histograms", histogram=True)
+    return problems
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Request handler serving the owning :class:`MetricsServer`."""
+
+    server: "_MetricsHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve /metrics (text format) and /metrics.json."""
+        registry = self.server.registry
+        if self.path.split("?", 1)[0] in ("/", "/metrics"):
+            body = render_prometheus(registry).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path.split("?", 1)[0] == "/metrics.json":
+            body = (
+                json.dumps(snapshot_metrics(registry), sort_keys=True) + "\n"
+            ).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "try /metrics or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the registry for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 registry: MetricsRegistry) -> None:
+        super().__init__(address, _MetricsHandler)
+        self.registry = registry
+
+
+class MetricsServer:
+    """A stdlib-only HTTP scrape endpoint over a registry.
+
+    Serves ``GET /metrics`` (Prometheus text) and ``GET /metrics.json``
+    (the JSON snapshot) from a daemon thread.  ``port=0`` binds an
+    ephemeral port, read back from :attr:`port` after :meth:`start` —
+    the pattern the tests and ``repro-asketch serve-metrics`` use.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = _require_registry(registry)
+        self._host = host
+        self._requested_port = port
+        self._server: _MetricsHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL (valid after :meth:`start`)."""
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Bind and start serving from a daemon thread; returns self."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = _MetricsHTTPServer(
+            (self._host, self._requested_port), self.registry
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        """Context-manager entry: starts the server."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: stops the server."""
+        self.stop()

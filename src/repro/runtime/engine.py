@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Protocol
 import numpy as np
 
 from repro.errors import ConfigurationError, PoisonChunkError
+from repro.obs.registry import current_registry
+from repro.obs.trace import current_tracer, trace_span
 
 
 def coerce_chunk(
@@ -183,15 +185,39 @@ class StreamEngine:
         NaN keys, wrong shape) raise
         :class:`~repro.errors.PoisonChunkError` carrying the offending
         chunk's index instead of being silently truncated to ``int64``.
+
+        With a metrics registry installed (:mod:`repro.obs`), every
+        chunk records engine-level counters (tuples, chunks, per-chunk
+        latency, running items/s) and, with a trace sink installed, an
+        ``ingest`` span; the synopsis state is unaffected either way.
         """
         ingest = self._ingest
+        registry = current_registry()
+        traced = current_tracer() is not None
         for chunk in chunks:
-            chunk = coerce_chunk(chunk, self.stats.chunks_ingested)
-            start = time.perf_counter()
-            ingest(chunk)
-            self.stats.wall_seconds += time.perf_counter() - start
-            self.stats.tuples_ingested += int(chunk.shape[0])
+            chunk_index = self.stats.chunks_ingested
+            chunk = coerce_chunk(chunk, chunk_index)
+            n_items = int(chunk.shape[0])
+            if traced:
+                with trace_span("ingest", chunk_index=chunk_index,
+                                items=n_items):
+                    start = time.perf_counter()
+                    ingest(chunk)
+                    elapsed = time.perf_counter() - start
+            else:
+                start = time.perf_counter()
+                ingest(chunk)
+                elapsed = time.perf_counter() - start
+            self.stats.wall_seconds += elapsed
+            self.stats.tuples_ingested += n_items
             self.stats.chunks_ingested += 1
+            if registry is not None:
+                registry.counter("engine_tuples_total").inc(n_items)
+                registry.counter("engine_chunks_total").inc()
+                registry.histogram("engine_chunk_seconds").observe(elapsed)
+                registry.gauge("engine_items_per_s").set(
+                    1000.0 * self.stats.wall_throughput_items_per_ms
+                )
             self._fire_due_consumers()
         return self.stats
 
@@ -199,6 +225,7 @@ class StreamEngine:
         if not self._consumers:
             return
         position = self.stats.tuples_ingested
+        fired_before = self.stats.consumer_firings
         start = time.perf_counter()
         for consumer in self._consumers:
             while consumer.next_due <= position:
@@ -206,6 +233,11 @@ class StreamEngine:
                 consumer.next_due += consumer.period
                 self.stats.consumer_firings += 1
         self.stats.consumer_seconds += time.perf_counter() - start
+        registry = current_registry()
+        if registry is not None:
+            fired = self.stats.consumer_firings - fired_before
+            if fired:
+                registry.counter("engine_consumer_firings_total").inc(fired)
 
 
 class TopKBoard:

@@ -62,6 +62,8 @@ from repro.errors import (
     StreamFormatError,
     TransientSourceError,
 )
+from repro.obs.registry import current_registry
+from repro.obs.trace import trace_span
 from repro.persistence import _fsync_directory, load_synopsis, save_synopsis
 from repro.runtime.engine import EngineStats, StreamEngine, coerce_chunk
 from repro.runtime.sharding import ShardedASketch
@@ -189,6 +191,15 @@ class RetryingSource:
                 attempt += 1
                 self.retries += 1
                 self.backoff_seconds += delay
+                registry = current_registry()
+                if registry is not None:
+                    registry.counter(
+                        "source_retries_total",
+                        error=type(error).__name__,
+                    ).inc()
+                    registry.counter(
+                        "source_backoff_seconds_total"
+                    ).inc(delay)
                 self._sleep(delay)
             else:
                 self.chunks_delivered += 1
@@ -229,10 +240,17 @@ class DeadLetterQueue:
     def quarantine(self, chunk_index: int, payload: Any, reason: str) -> None:
         """Record one poison chunk (payload kept while capacity allows)."""
         self.quarantined += 1
-        if len(self._letters) < self.capacity:
-            self._letters.append(DeadLetter(chunk_index, reason, payload))
-        else:
+        dropped = len(self._letters) >= self.capacity
+        if dropped:
             self.dropped += 1
+        else:
+            self._letters.append(DeadLetter(chunk_index, reason, payload))
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("dlq_quarantined_total").inc()
+            if dropped:
+                registry.counter("dlq_dropped_total").inc()
+            registry.gauge("dlq_depth").set(len(self._letters))
 
     @property
     def letters(self) -> list[DeadLetter]:
@@ -459,30 +477,44 @@ class CheckpointStore:
         """Checkpoint a synopsis at a stream position; returns the record.
 
         The snapshot is written atomically, hashed, journaled, and old
-        generations beyond ``keep`` are pruned.
+        generations beyond ``keep`` are pruned.  With a metrics
+        registry installed, each save records its duration, snapshot
+        bytes and journal fsync; with a trace sink installed it is
+        wrapped in a ``checkpoint`` span.
         """
         records = self.journal_records()
         generation = (records[-1]["generation"] + 1) if records else 0
         snapshot = self.snapshot_path(generation)
-        save_synopsis(synopsis, snapshot)
-        digest = hashlib.sha256(snapshot.read_bytes()).hexdigest()
-        record = {
-            "generation": generation,
-            "snapshot": snapshot.name,
-            "chunk_index": int(chunk_index),
-            "tuples_ingested": int(tuples_ingested),
-            "engine_chunks": int(
-                chunk_index if engine_chunks is None else engine_chunks
-            ),
-            "sha256": digest,
-        }
-        if extra:
-            record["extra"] = extra
-        with open(self.journal_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        _fsync_directory(self.directory)
+        start = time.perf_counter()
+        with trace_span("checkpoint", generation=generation,
+                        chunk_index=int(chunk_index)):
+            save_synopsis(synopsis, snapshot)
+            blob = snapshot.read_bytes()
+            digest = hashlib.sha256(blob).hexdigest()
+            record = {
+                "generation": generation,
+                "snapshot": snapshot.name,
+                "chunk_index": int(chunk_index),
+                "tuples_ingested": int(tuples_ingested),
+                "engine_chunks": int(
+                    chunk_index if engine_chunks is None else engine_chunks
+                ),
+                "sha256": digest,
+            }
+            if extra:
+                record["extra"] = extra
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            _fsync_directory(self.directory)
+        elapsed = time.perf_counter() - start
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("checkpoints_total").inc()
+            registry.counter("checkpoint_bytes_total").inc(len(blob))
+            registry.counter("journal_fsyncs_total").inc()
+            registry.histogram("checkpoint_seconds").observe(elapsed)
         self._prune(records + [record])
         return record
 
@@ -624,6 +656,14 @@ class ShardSupervisor:
     def _mark_failed(self, index: int, error: Exception) -> None:
         self._status[index] = self.STATUS_FAILED
         self._errors[index] = f"{type(error).__name__}: {error}"
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "shard_health_transitions_total",
+                shard=str(index),
+                to=self.STATUS_FAILED,
+            ).inc()
+            registry.gauge("shards_failed").set(len(self.failed_shards))
 
     @property
     def degraded(self) -> bool:
@@ -1040,7 +1080,8 @@ class ResilientEngine:
         """
         if self._store is None:
             raise ConfigurationError("resume requires a checkpoint_dir")
-        loaded = self._store.load_latest()
+        with trace_span("recover", directory=str(self._store.directory)):
+            loaded = self._store.load_latest()
         if loaded is None:
             if self.synopsis is None:
                 raise RecoveryError(
@@ -1052,12 +1093,24 @@ class ResilientEngine:
         synopsis, record = loaded
         self.synopsis = synopsis
         self._last_record = record
-        return self._drive(
+        start_chunk = int(record["chunk_index"])
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("recoveries_total").inc()
+            registry.gauge("recovery_restored_chunk_index").set(start_chunk)
+        stats = self._drive(
             chunks,
-            start_chunk=int(record["chunk_index"]),
+            start_chunk=start_chunk,
             restored=record,
             fault_plan=fault_plan,
         )
+        if registry is not None:
+            # Replay length: source chunks re-ingested past the
+            # restored checkpoint to catch back up.
+            registry.gauge("recovery_replay_chunks").set(
+                self._source_chunks_seen - start_chunk
+            )
+        return stats
 
     def _drive(
         self,

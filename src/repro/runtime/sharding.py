@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.asketch import ASketch
 from repro.errors import ConfigurationError
 from repro.hashing import make_hash_family
+from repro.obs.registry import MetricsRegistry, current_registry
 from repro.hashing.families import encode_key_array, key_to_int
 from repro.synopses.protocol import (
     SynopsisState,
@@ -97,6 +98,26 @@ class ShardedASketch:
 
     # -- ingestion --------------------------------------------------------
 
+    def _record_shard_metrics(
+        self, registry: MetricsRegistry, owners: np.ndarray
+    ) -> None:
+        """Record one chunk's per-shard routing into the registry.
+
+        Emits per-shard item counters plus a ``shard_skew`` gauge — the
+        chunk's largest share over the balanced share (1.0 = perfectly
+        even routing), the live signal for partition hot spots.
+        """
+        if owners.size == 0:
+            return
+        shares = np.bincount(owners, minlength=len(self._shards))
+        for index, share in enumerate(shares.tolist()):
+            if share:
+                registry.counter(
+                    "shard_items_total", shard=str(index)
+                ).inc(share)
+        balanced = owners.size / len(self._shards)
+        registry.gauge("shard_skew").set(float(shares.max()) / balanced)
+
     def process_stream(self, keys: np.ndarray) -> None:
         """Partition a chunk by owner and feed each shard its share.
 
@@ -105,6 +126,9 @@ class ShardedASketch:
         """
         keys = np.asarray(keys, dtype=np.int64)
         owners = self._router.hash_array(encode_key_array(keys))
+        registry = current_registry()
+        if registry is not None:
+            self._record_shard_metrics(registry, owners)
         for index, shard in enumerate(self._shards):
             share = keys[owners == index]
             if share.size:
@@ -123,6 +147,9 @@ class ShardedASketch:
         if counts is not None:
             counts = np.asarray(counts, dtype=np.int64)
         owners = self._router.hash_array(encode_key_array(keys))
+        registry = current_registry()
+        if registry is not None:
+            self._record_shard_metrics(registry, owners)
         for index, shard in enumerate(self._shards):
             mask = owners == index
             if mask.any():

@@ -1,0 +1,25 @@
+"""Observability test fixtures: leak-proof registry/tracer teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    install_registry,
+    uninstall_registry,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    """Guarantee no registry/tracer leaks between tests (even on failure)."""
+    yield
+    uninstall_registry()
+    uninstall_tracer()
+
+
+@pytest.fixture()
+def registry():
+    """A freshly installed registry, uninstalled after the test."""
+    return install_registry()

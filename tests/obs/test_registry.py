@@ -1,0 +1,137 @@
+"""Unit tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    current_registry,
+    install_registry,
+    uninstall_registry,
+)
+from repro.obs.registry import Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("ops")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("ops")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_thread_safety(self):
+        counter = MetricsRegistry().counter("ops")
+
+        def work():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000.0
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+        gauge.inc(-2.5)
+        assert gauge.value == 5.0
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative_and_end_at_inf(self):
+        histogram = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        pairs = histogram.bucket_counts()
+        assert pairs == [(1.0, 1), (2.0, 2), (4.0, 3), (float("inf"), 4)]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(105.0)
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+    def test_quantile_interpolates(self):
+        histogram = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(1.5)
+        # All mass sits in the (1, 2] bucket: the median interpolates
+        # inside it.
+        assert 1.0 < histogram.quantile(0.5) <= 2.0
+
+    def test_quantile_empty_and_overflow(self):
+        histogram = Histogram("lat", buckets=(1.0, 2.0))
+        assert histogram.quantile(0.5) == 0.0
+        histogram.observe(50.0)  # +Inf bucket
+        assert histogram.quantile(0.99) == 2.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_default_buckets_cover_sub_millisecond_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("ops") is registry.counter("ops")
+        assert registry.counter("ops", shard="0") is not registry.counter(
+            "ops", shard="1"
+        )
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("ops")
+        with pytest.raises(ValueError):
+            registry.gauge("ops")
+
+    def test_value_of_absent_series_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.value("never_recorded") == 0.0
+        assert registry.get("never_recorded") is None
+
+    def test_instruments_sorted_by_name_then_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha", shard="1")
+        registry.counter("alpha", shard="0")
+        names = [
+            (instrument.name, instrument.labels)
+            for instrument in registry.instruments()
+        ]
+        assert names == sorted(names)
+
+
+class TestInstallation:
+    def test_not_installed_by_default(self):
+        assert current_registry() is None
+
+    def test_install_and_uninstall(self):
+        registry = install_registry()
+        assert current_registry() is registry
+        uninstall_registry()
+        assert current_registry() is None
+
+    def test_install_specific_registry(self):
+        mine = MetricsRegistry()
+        assert install_registry(mine) is mine
+        assert current_registry() is mine

@@ -1,0 +1,95 @@
+"""Unit tests for the span/point trace hook."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlTraceWriter,
+    RecordingTraceSink,
+    current_tracer,
+    install_tracer,
+    trace_point,
+    trace_span,
+    uninstall_tracer,
+)
+
+
+class TestInstallation:
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+
+    def test_points_and_spans_are_noops_without_a_sink(self):
+        trace_point("ignored", key=1)
+        with trace_span("ignored"):
+            pass
+
+
+class TestRecordingSink:
+    def test_span_emits_enter_and_exit_with_duration(self):
+        sink = RecordingTraceSink()
+        install_tracer(sink)
+        with trace_span("ingest", chunk_index=3):
+            pass
+        phases = [event.phase for event in sink.named("ingest")]
+        assert phases == ["enter", "exit"]
+        exit_event = sink.named("ingest")[-1]
+        assert exit_event.duration_s is not None
+        assert exit_event.duration_s >= 0.0
+        assert exit_event.attrs["chunk_index"] == 3
+
+    def test_span_exit_emitted_on_exception(self):
+        sink = RecordingTraceSink()
+        install_tracer(sink)
+        with pytest.raises(RuntimeError):
+            with trace_span("ingest"):
+                raise RuntimeError("boom")
+        assert [e.phase for e in sink.named("ingest")] == ["enter", "exit"]
+
+    def test_point_event(self):
+        sink = RecordingTraceSink()
+        install_tracer(sink)
+        trace_point("exchange", key=42)
+        (event,) = sink.named("exchange")
+        assert event.phase == "point"
+        assert event.attrs["key"] == 42
+
+    def test_uninstall_stops_recording(self):
+        sink = RecordingTraceSink()
+        install_tracer(sink)
+        uninstall_tracer()
+        trace_point("exchange")
+        assert sink.events == []
+
+
+class TestJsonlWriter:
+    def test_writes_one_json_object_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            install_tracer(writer)
+            with trace_span("checkpoint", generation=0):
+                trace_point("exchange", key=7)
+            uninstall_tracer()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert [line["name"] for line in lines] == [
+            "checkpoint",
+            "exchange",
+            "checkpoint",
+        ]
+        assert lines[0]["phase"] == "enter"
+        assert lines[1]["attrs"]["key"] == 7
+        assert lines[2]["phase"] == "exit"
+        assert lines[2]["duration_s"] >= 0.0
+
+    def test_event_to_dict_roundtrips_through_json(self):
+        sink = RecordingTraceSink()
+        install_tracer(sink)
+        trace_point("exchange", key=1, estimate=9)
+        payload = json.dumps(sink.events[0].to_dict())
+        assert json.loads(payload)["name"] == "exchange"

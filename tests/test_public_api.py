@@ -30,9 +30,12 @@ class TestAllExports:
             "repro.hardware",
             "repro.hashing",
             "repro.metrics",
+            "repro.obs",
+            "repro.runtime",
             "repro.simd",
             "repro.sketches",
             "repro.streams",
+            "repro.synopses",
         ],
     )
     def test_subpackage_all_consistent(self, module_name):
