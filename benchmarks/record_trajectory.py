@@ -1,10 +1,12 @@
 """Record the repo's performance trajectory into ``BENCH_core_ops.json``.
 
 Each invocation runs a fixed set of core-path benches (scalar ingest,
-batched ingest, sharded ingest, point queries) with the
-:mod:`repro.obs` registry installed, then writes one JSON document
-mapping bench id to throughput and chunk-latency quantiles, stamped
-with the git sha and a timestamp::
+batched ingest, sharded ingest, 2-/4-worker multiprocess parallel
+ingest, point queries) with the :mod:`repro.obs` registry installed,
+then writes one JSON document mapping bench id to throughput and
+chunk-latency quantiles, stamped with the git sha, a timestamp, and —
+per entry — the ``workers`` / ``cpu_count`` context without which a
+parallel throughput number is uninterpretable::
 
     python benchmarks/record_trajectory.py [--output BENCH_core_ops.json]
 
@@ -34,6 +36,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.obs import install_registry, uninstall_registry  # noqa: E402
 from repro.runtime.engine import StreamEngine  # noqa: E402
+from repro.runtime.parallel import ParallelIngestRuntime  # noqa: E402
 from repro.runtime.sharding import ShardedASketch  # noqa: E402
 from repro.streams.zipf import zipf_stream  # noqa: E402
 from repro.synopses.spec import SynopsisSpec, build_synopsis  # noqa: E402
@@ -58,6 +61,27 @@ def _git_sha() -> str:
     except OSError:
         return "unknown"
     return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _stamp(row: dict, workers: int) -> dict:
+    """Attach the context that makes a throughput number interpretable.
+
+    A parallel items/s figure means nothing without knowing how many
+    worker processes produced it and how many CPUs they had to share —
+    the perf gate also keys off these to avoid comparing numbers taken
+    on differently sized machines.
+    """
+    row["workers"] = int(workers)
+    row["cpu_count"] = _cpu_count()
+    return row
 
 
 def _engine_summary(engine: StreamEngine, registry) -> dict:
@@ -104,6 +128,42 @@ def _query_bench(keys, queries) -> dict:
     }
 
 
+def _parallel_bench(keys, chunk_size: int, workers: int) -> dict:
+    """Multiprocess SPMD ingest through the shared-memory runtime.
+
+    Same 4-shard layout and seed as ``sharded_ingest``, so the pair
+    reads as "one process vs N processes over the identical synopsis";
+    ``wall_seconds`` covers spawn + feed + ingest + drain merge (the
+    honest end-to-end number a deployment would see).
+    """
+    runtime = ParallelIngestRuntime(
+        workers,
+        shards=4,
+        total_bytes=32 * 1024,
+        seed=64,
+        slot_capacity=max(1 << 16, chunk_size),
+    )
+    chunks = [
+        keys[offset : offset + chunk_size]
+        for offset in range(0, keys.shape[0], chunk_size)
+    ]
+    stats = runtime.run(iter(chunks))
+    mean_chunk = (
+        stats.wall_seconds / stats.chunks_ingested
+        if stats.chunks_ingested
+        else 0.0
+    )
+    return {
+        "items": stats.tuples_ingested,
+        "chunks": stats.chunks_ingested,
+        "items_per_s": round(
+            1000.0 * stats.wall_throughput_items_per_ms, 2
+        ),
+        "p50_chunk_seconds": round(mean_chunk, 6),
+        "p99_chunk_seconds": round(mean_chunk, 6),
+    }
+
+
 def record(tiny: bool) -> dict:
     """Run every bench and return the trajectory document."""
     items = 60_000 if tiny else 400_000
@@ -113,31 +173,49 @@ def record(tiny: bool) -> dict:
     keys = stream.keys
 
     benches = {
-        "scalar_ingest": _run_ingest_bench(
-            build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
-            keys,
-            chunk_size,
-            batched=False,
+        "scalar_ingest": _stamp(
+            _run_ingest_bench(
+                build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
+                keys,
+                chunk_size,
+                batched=False,
+            ),
+            workers=1,
         ),
-        "batched_ingest": _run_ingest_bench(
-            build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
-            keys,
-            chunk_size,
-            batched=True,
+        "batched_ingest": _stamp(
+            _run_ingest_bench(
+                build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
+                keys,
+                chunk_size,
+                batched=True,
+            ),
+            workers=1,
         ),
-        "sharded_ingest": _run_ingest_bench(
-            ShardedASketch(shards=4, total_bytes=32 * 1024, seed=64),
-            keys,
-            chunk_size,
-            batched=True,
+        "sharded_ingest": _stamp(
+            _run_ingest_bench(
+                ShardedASketch(shards=4, total_bytes=32 * 1024, seed=64),
+                keys,
+                chunk_size,
+                batched=True,
+            ),
+            workers=1,
         ),
-        "batch_query": _query_bench(keys, keys[:20_000]),
+        "parallel_ingest_2w": _stamp(
+            _parallel_bench(keys, chunk_size, workers=2), workers=2
+        ),
+        "parallel_ingest_4w": _stamp(
+            _parallel_bench(keys, chunk_size, workers=4), workers=4
+        ),
+        "batch_query": _stamp(
+            _query_bench(keys, keys[:20_000]), workers=1
+        ),
     }
     return {
         "schema": SCHEMA,
         "git_sha": _git_sha(),
         "generated_unix": time.time(),
         "tiny": tiny,
+        "cpu_count": _cpu_count(),
         "benches": benches,
     }
 

@@ -51,7 +51,9 @@ from repro.hardware import (
 )
 from repro.runtime import (
     CheckpointStore,
+    ChunkRing,
     FaultPlan,
+    ParallelIngestRuntime,
     ResilientEngine,
     RetryingSource,
     RetryPolicy,
@@ -60,6 +62,7 @@ from repro.runtime import (
     StreamEngine,
     ThresholdAlert,
     TopKBoard,
+    parallel_ingest,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -113,6 +116,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ASketch",
     "CheckpointStore",
+    "ChunkRing",
     "CostModel",
     "CountMinSketch",
     "CountSketch",
@@ -128,6 +132,7 @@ __all__ = [
     "MetricsServer",
     "MisraGries",
     "OpCounters",
+    "ParallelIngestRuntime",
     "PipelineSimulator",
     "RelaxedHeapFilter",
     "ResilientEngine",
@@ -161,6 +166,7 @@ __all__ = [
     "load_hierarchical",
     "load_synopsis",
     "make_filter",
+    "parallel_ingest",
     "register_synopsis",
     "registered_kinds",
     "render_prometheus",

@@ -8,6 +8,7 @@ Usage::
     repro-asketch run all --scale 0.1
     repro-asketch run asketch --checkpoint-dir ckpts --checkpoint-every 8
     repro-asketch run zipf --metrics-json metrics.json
+    repro-asketch run zipf --workers 4 --shards 8
     repro-asketch resume ckpts --top-k 10
     repro-asketch checkpoint asketch.npz --method asketch --skew 1.5
     repro-asketch restore asketch.npz --top-k 10
@@ -141,6 +142,25 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.5,
         help="Zipf skew of the ingested stream (with --checkpoint-dir)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "ingest with N worker processes over shared-memory rings "
+            "(stream targets 'zipf'/'uniform' only; the result is "
+            "bit-identical to --workers 1)"
+        ),
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "shard count for --workers runs (default: one per worker); "
+            "the --synopsis-kb budget is split across shards"
+        ),
     )
     run_parser.add_argument(
         "--metrics-json",
@@ -495,6 +515,91 @@ def _run_resilient(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_parallel(args: argparse.Namespace) -> int:
+    """``run <stream> --workers N``: true multiprocess SPMD ingest.
+
+    The total ``--synopsis-kb`` budget is split evenly across shards
+    (matching §6.3's per-core sizing), the stream is routed to worker
+    processes over shared-memory rings, and the merged result is
+    bit-identical to the same run with ``--workers 1``.
+    """
+    from pathlib import Path
+
+    from repro.runtime.parallel import ParallelIngestRuntime
+    from repro.runtime.reliability import CheckpointStore
+    from repro.streams.uniform import uniform_stream
+    from repro.streams.zipf import zipf_stream
+
+    if args.experiment not in _STREAM_TARGETS:
+        print(
+            f"--workers needs a stream target {_STREAM_TARGETS}, "
+            f"got {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        synopsis_bytes=args.synopsis_kb * 1024,
+        filter_items=args.filter_items,
+        filter_kind=args.filter_kind,
+    )
+    if args.experiment == "uniform":
+        stream = uniform_stream(
+            config.stream_size, config.distinct, seed=args.seed
+        )
+    else:
+        stream = zipf_stream(
+            config.stream_size, config.distinct, args.skew, seed=args.seed
+        )
+    shards = args.shards if args.shards is not None else args.workers
+    per_shard_bytes = max(4096, (args.synopsis_kb * 1024) // max(shards, 1))
+    runtime = ParallelIngestRuntime(
+        args.workers,
+        shards=shards,
+        total_bytes=per_shard_bytes,
+        filter_items=args.filter_items,
+        filter_kind=args.filter_kind,
+        seed=args.seed,
+        slot_capacity=max(1 << 16, args.chunk_size),
+    )
+    store = None
+    if args.checkpoint_dir is not None:
+        directory = Path(args.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        store = CheckpointStore(directory)
+    with _Observability(trace_jsonl=args.trace_jsonl) as obs:
+        stats = runtime.run(
+            stream.chunks(args.chunk_size),
+            checkpoint_store=store,
+            checkpoint_every=args.checkpoint_every if store else None,
+        )
+        workers_ok = sum(
+            1 for h in runtime.worker_health() if h["status"] == "ok"
+        )
+        print(
+            f"ingested {stats.tuples_ingested} tuples in "
+            f"{stats.chunks_ingested} chunks across {args.workers} workers "
+            f"({shards} shards, {per_shard_bytes} B/shard) in "
+            f"{stats.wall_seconds:.2f}s "
+            f"({stats.wall_throughput_items_per_ms:.0f} items/ms); "
+            f"{workers_ok}/{args.workers} workers healthy"
+        )
+        if args.metrics_json is not None:
+            from repro.obs import write_metrics_json
+
+            write_metrics_json(
+                args.metrics_json,
+                obs.registry,
+                derived={
+                    "workers": runtime.worker_health(),
+                    "shards": runtime.shard_health(),
+                },
+            )
+            print(f"metrics snapshot written to {args.metrics_json}")
+    return 0
+
+
 def _run_serve_metrics(args: argparse.Namespace) -> int:
     from repro.obs import MetricsServer, install_registry, uninstall_registry
     from repro.runtime.reliability import ResilientEngine
@@ -728,6 +833,19 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"report written to {path}")
         return 0
+
+    if getattr(args, "workers", 1) < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "workers", 1) > 1:
+        try:
+            return _run_parallel(args)
+        except ReproError as exc:
+            print(f"error during parallel run: {exc}", file=sys.stderr)
+            return 1
 
     if args.checkpoint_dir is not None or args.experiment in _STREAM_TARGETS:
         try:

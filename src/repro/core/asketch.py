@@ -532,6 +532,43 @@ class ASketch:
             )
         return self._filter.top_k(k)
 
+    def _is_pristine(self) -> bool:
+        """True when this ASketch is indistinguishable from freshly built.
+
+        No mass, no misses, no op counts, an empty filter, and an
+        all-zero sketch table — the precondition for :meth:`merge`'s
+        bit-exact identity fast paths.
+        """
+        if (
+            self.total_mass != 0
+            or self.overflow_mass != 0
+            or self.miss_events != 0
+            or self.ops != OpCounters()
+        ):
+            return False
+        if next(iter(self._filter.entries()), None) is not None:
+            return False
+        return all(
+            not array.any()
+            for array in self._sketch.state().arrays.values()
+        )
+
+    def _adopt(self, other: "ASketch") -> None:
+        """Take over ``other``'s state wholesale (pristine-self merge).
+
+        ``other`` is consumed, per the :meth:`merge` contract — its
+        filter and sketch become this instance's by reference.
+        """
+        self._filter = other._filter
+        self.filter_kind = other.filter_kind
+        self._sketch = other._sketch
+        self.max_exchanges_per_update = other.max_exchanges_per_update
+        self.total_mass = other.total_mass
+        self.overflow_mass = other.overflow_mass
+        self.miss_events = other.miss_events
+        self.ops = other.ops
+        self._miss_log = other._miss_log
+
     def merge(self, other: "ASketch") -> None:
         """Absorb another ASketch built over the same sketch geometry.
 
@@ -566,6 +603,16 @@ class ASketch:
         any exchange); subsequent hits are again counted exactly.  The
         other ASketch's sketch is mutated by step 1 and the instance
         should be discarded.
+
+        **Identity fast paths.**  Merging with a *pristine* ASketch (one
+        whose state is indistinguishable from freshly constructed: no
+        filter entries, zero masses, all-zero sketch cells) is an
+        identity: a pristine ``other`` leaves ``self`` untouched, and a
+        pristine ``self`` adopts ``other``'s state wholesale.  Both
+        directions are bit-exact — no flush, no filter rebuild — which
+        is what lets a disjoint decomposition (each key owned by exactly
+        one side, as in shard-per-worker parallel ingest) recombine into
+        a result bit-identical to a single sequential ingest.
         """
         self_sketch = self._sketch
         merge_op = getattr(self_sketch, "merge", None)
@@ -577,6 +624,11 @@ class ASketch:
             raise ConfigurationError(
                 "sketches must share dimensions and hash seeds to merge"
             )
+        if other._is_pristine():
+            return
+        if self._is_pristine():
+            self._adopt(other)
+            return
         for side in (self, other):
             for entry in side.filter.entries():
                 if entry.resident_count > 0:

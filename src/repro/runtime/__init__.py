@@ -22,7 +22,13 @@ provides that operational shell:
   quarantine), :class:`~repro.runtime.reliability.ShardSupervisor`
   (graceful shard degradation), and the deterministic
   :class:`~repro.runtime.reliability.FaultPlan` injection harness the
-  recovery tests are built on.
+  recovery tests are built on;
+* :mod:`~repro.runtime.parallel` — true multicore ingest:
+  :class:`~repro.runtime.parallel.ParallelIngestRuntime` runs N worker
+  processes over shared-memory chunk rings, each ingesting its shards'
+  keys, recombined through the synopsis ``merge()`` protocol into a
+  result bit-identical to a single-process run (with cross-process
+  failover reusing the supervisor semantics).
 """
 
 from repro.runtime.engine import (
@@ -31,6 +37,11 @@ from repro.runtime.engine import (
     ThresholdAlert,
     TopKBoard,
     coerce_chunk,
+)
+from repro.runtime.parallel import (
+    ChunkRing,
+    ParallelIngestRuntime,
+    parallel_ingest,
 )
 from repro.runtime.reliability import (
     CheckpointStore,
@@ -49,11 +60,13 @@ from repro.runtime.sharding import ShardedASketch
 
 __all__ = [
     "CheckpointStore",
+    "ChunkRing",
     "DeadLetter",
     "DeadLetterQueue",
     "EngineStats",
     "FaultPlan",
     "FaultySource",
+    "ParallelIngestRuntime",
     "ResilientEngine",
     "RetryPolicy",
     "RetryingSource",
@@ -65,4 +78,5 @@ __all__ = [
     "TopKBoard",
     "coerce_chunk",
     "corrupt_file",
+    "parallel_ingest",
 ]

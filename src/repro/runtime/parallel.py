@@ -1,0 +1,1014 @@
+"""True multicore ingest: shared-memory SPMD worker processes.
+
+:mod:`repro.hardware.spmd` *models* the paper's §6.3 multi-kernel run
+with a cost model; this module makes it real.  N worker processes each
+own the shards ``s`` with ``s % workers == w`` of one
+:class:`~repro.runtime.sharding.ShardedASketch` layout and ingest their
+shares through the ordinary ``process_batch`` path, fed over
+shared-memory ring buffers (``multiprocessing.shared_memory``,
+spawn-safe — no fork-dependent state).
+
+**Bit-identity.**  The parent routes every chunk with the group's own
+``owners_of`` and sends worker ``w`` exactly the sub-array its shards
+would have received in a sequential run, in chunk order.  Stable
+partitioning inside ``process_batch`` then reproduces the exact same
+per-shard sub-batches, so each worker's shard states equal the
+sequential run's — and the drain merge recombines them through the
+pristine-merge identity fast path of :meth:`repro.core.asketch.ASketch.
+merge` (each shard is non-pristine on exactly one side).  The merged
+result's :meth:`state` **equals** a single-process ingest's, enforced
+by the parallel test suite.
+
+**Failover.**  Worker death is detected by the parent (process
+liveness, not an in-band exception).  Workers snapshot their group over
+a pipe every ``sync_every`` chunks, and the parent retains the
+un-snapshotted chunk tail per worker, so two recovery tiers exist:
+
+* ``failover="inline"`` (default): rebuild the dead worker's group from
+  its last snapshot, replay the retained tail in-parent through the
+  identical ``process_batch`` path, and keep serving that worker's
+  traffic in-parent — **still bit-identical**, because replay repeats
+  the exact sub-batches the worker would have processed.
+* ``failover="standby"``: merge the frozen snapshot into the combined
+  group, mark the worker's shards failed via
+  :meth:`~repro.runtime.reliability.ShardSupervisor.fail_shard`, and
+  route the retained tail plus all future traffic through the
+  supervisor's standby Count-Min sketches — the PR-3 degradation
+  semantics, now spanning process boundaries (estimates stay one-sided,
+  ``shard_health()`` reflects the dead process).
+
+**Observability.**  With a registry installed (:mod:`repro.obs`) the
+parent records routing skew, per-worker item counters, ring depth,
+liveness, failures, and merge latency; each worker runs its own
+registry and forwards counter/gauge values over its pipe, which the
+parent re-labels with ``worker=<id>`` and folds into the installed
+registry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    current_registry,
+    install_registry,
+    uninstall_registry,
+)
+from repro.runtime.engine import EngineStats, coerce_chunk
+from repro.runtime.reliability import CheckpointStore, ShardSupervisor
+from repro.runtime.sharding import ShardedASketch
+from repro.synopses.protocol import SynopsisState
+
+__all__ = ["ChunkRing", "ParallelIngestRuntime", "parallel_ingest"]
+
+
+# -- shared-memory chunk ring ------------------------------------------------
+
+#: Header word indices (all int64): monotonically increasing produced /
+#: consumed slot counters (telemetry + depth; correctness rests on the
+#: semaphores) and a total-items counter.
+_HDR_PRODUCED = 0
+_HDR_CONSUMED = 1
+_HDR_ITEMS = 2
+_HDR_WORDS = 4
+
+#: Slot-length sentinel marking end of stream.
+_EOF = -1
+
+#: ``ChunkRing.get`` return marker for "nothing arrived within timeout"
+#: (distinct from ``None`` = end of stream).
+RING_TIMEOUT = object()
+
+
+@dataclass
+class RingHandle:
+    """Everything a spawn child needs to attach to an existing ring.
+
+    Semaphores travel through ``Process`` args (the only channel
+    multiprocessing primitives can cross a spawn boundary on); the
+    shared-memory segment is re-attached by name.
+    """
+
+    name: str
+    slots: int
+    slot_capacity: int
+    sem_free: Any
+    sem_filled: Any
+
+
+class ChunkRing:
+    """A single-producer single-consumer ring of int64 chunks in shm.
+
+    Layout (all int64)::
+
+        header[4]               produced / consumed / items / reserved
+        lengths[slots]          item count per slot, -1 = end of stream
+        data[slots, capacity]   the chunk payloads
+
+    ``sem_free`` / ``sem_filled`` gate slot reuse; a semaphore release
+    is the producer→consumer memory barrier (POSIX semaphores order the
+    preceding stores), so the consumer never observes a slot before its
+    payload.  ``get`` copies the payload out and frees the slot
+    immediately, maximising producer/consumer overlap.
+
+    The parent creates rings (``ChunkRing(slots, slot_capacity)``) and
+    owns the segment lifecycle (:meth:`unlink`); workers attach via
+    :meth:`from_handle`, which also unregisters the segment from the
+    child's ``resource_tracker`` — before Python 3.13 an attaching
+    process would otherwise unlink the segment when it exits.
+    """
+
+    def __init__(
+        self,
+        slots: int = 8,
+        slot_capacity: int = 1 << 16,
+        *,
+        _handle: RingHandle | None = None,
+    ) -> None:
+        if _handle is None:
+            if slots < 1:
+                raise ConfigurationError(f"slots must be >= 1, got {slots}")
+            if slot_capacity < 1:
+                raise ConfigurationError(
+                    f"slot_capacity must be >= 1, got {slot_capacity}"
+                )
+            ctx = mp.get_context("spawn")
+            nbytes = 8 * (_HDR_WORDS + slots + slots * slot_capacity)
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self.slots = int(slots)
+            self.slot_capacity = int(slot_capacity)
+            self._sem_free = ctx.Semaphore(self.slots)
+            self._sem_filled = ctx.Semaphore(0)
+            self._owner = True
+        else:
+            # Attach without registering with the resource tracker: the
+            # creator already registered the segment, the tracker is
+            # shared across spawn children, and a second registration
+            # would end in a double-unregister (pre-3.13 there is no
+            # ``track=False`` to say this properly).
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            try:
+                resource_tracker.register = (  # type: ignore[assignment]
+                    lambda name, rtype: None
+                    if rtype == "shared_memory"
+                    else original_register(name, rtype)
+                )
+                self._shm = shared_memory.SharedMemory(name=_handle.name)
+            finally:
+                resource_tracker.register = original_register
+            self.slots = int(_handle.slots)
+            self.slot_capacity = int(_handle.slot_capacity)
+            self._sem_free = _handle.sem_free
+            self._sem_filled = _handle.sem_filled
+            self._owner = False
+        buf = self._shm.buf
+        self._header = np.ndarray((_HDR_WORDS,), dtype=np.int64, buffer=buf)
+        self._lengths = np.ndarray(
+            (self.slots,), dtype=np.int64, buffer=buf, offset=8 * _HDR_WORDS
+        )
+        self._data = np.ndarray(
+            (self.slots, self.slot_capacity),
+            dtype=np.int64,
+            buffer=buf,
+            offset=8 * (_HDR_WORDS + self.slots),
+        )
+        if self._owner:
+            self._header[:] = 0
+            self._lengths[:] = 0
+        self._put_cursor = 0
+        self._get_cursor = 0
+
+    @property
+    def name(self) -> str:
+        """OS name of the shared-memory segment."""
+        return self._shm.name
+
+    def handle(self) -> RingHandle:
+        """The picklable attachment record for a spawn child."""
+        return RingHandle(
+            name=self._shm.name,
+            slots=self.slots,
+            slot_capacity=self.slot_capacity,
+            sem_free=self._sem_free,
+            sem_filled=self._sem_filled,
+        )
+
+    @classmethod
+    def from_handle(cls, handle: RingHandle) -> "ChunkRing":
+        """Attach to an existing ring inside a worker process."""
+        return cls(_handle=handle)
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, chunk: np.ndarray, timeout: float | None = None) -> bool:
+        """Publish one chunk; False when no slot freed within ``timeout``.
+
+        Oversized chunks are a configuration error, not a silent split —
+        splitting would change sub-batch boundaries and break the
+        bit-identity contract.
+        """
+        n = int(chunk.shape[0])
+        if n > self.slot_capacity:
+            raise ConfigurationError(
+                f"chunk of {n} items exceeds ring slot capacity "
+                f"{self.slot_capacity}; raise slot_capacity or shrink chunks"
+            )
+        if not self._sem_free.acquire(timeout=timeout):
+            return False
+        slot = self._put_cursor % self.slots
+        if n:
+            self._data[slot, :n] = chunk
+        self._lengths[slot] = n
+        self._put_cursor += 1
+        self._header[_HDR_PRODUCED] = self._put_cursor
+        self._header[_HDR_ITEMS] += n
+        self._sem_filled.release()
+        return True
+
+    def close_producer(self, timeout: float | None = None) -> bool:
+        """Publish the end-of-stream sentinel."""
+        if not self._sem_free.acquire(timeout=timeout):
+            return False
+        slot = self._put_cursor % self.slots
+        self._lengths[slot] = _EOF
+        self._put_cursor += 1
+        self._header[_HDR_PRODUCED] = self._put_cursor
+        self._sem_filled.release()
+        return True
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, timeout: float | None = None):
+        """Next chunk; ``None`` at end of stream, :data:`RING_TIMEOUT`
+        when nothing arrived within ``timeout``."""
+        if not self._sem_filled.acquire(timeout=timeout):
+            return RING_TIMEOUT
+        slot = self._get_cursor % self.slots
+        n = int(self._lengths[slot])
+        self._get_cursor += 1
+        self._header[_HDR_CONSUMED] = self._get_cursor
+        if n == _EOF:
+            self._sem_free.release()
+            return None
+        chunk = self._data[slot, :n].copy()
+        self._sem_free.release()
+        return chunk
+
+    # -- shared ------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Slots currently published but not yet consumed."""
+        return int(self._header[_HDR_PRODUCED] - self._header[_HDR_CONSUMED])
+
+    def items_published(self) -> int:
+        """Total items published so far."""
+        return int(self._header[_HDR_ITEMS])
+
+    def close(self) -> None:
+        """Drop this process's mapping (views first, then the segment)."""
+        self._header = None  # type: ignore[assignment]
+        self._lengths = None  # type: ignore[assignment]
+        self._data = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - already gone
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+# -- the worker process ------------------------------------------------------
+
+
+def _export_metrics(registry: MetricsRegistry) -> list[tuple]:
+    """Counter/gauge values as picklable rows (histograms stay local)."""
+    rows: list[tuple] = []
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            rows.append(
+                ("counter", instrument.name, dict(instrument.labels),
+                 instrument.value)
+            )
+        elif isinstance(instrument, Gauge):
+            rows.append(
+                ("gauge", instrument.name, dict(instrument.labels),
+                 instrument.value)
+            )
+    return rows
+
+
+def _send_snapshot(conn, group, registry, chunks_done, items_done) -> None:
+    conn.send(
+        (
+            "snapshot",
+            int(chunks_done),
+            int(items_done),
+            group.state(),
+            _export_metrics(registry),
+        )
+    )
+
+
+def _worker_main(
+    worker_id: int,
+    handle: RingHandle,
+    group_params: dict,
+    conn,
+    sync_every: int,
+    crash_after_chunks: int | None = None,
+) -> None:
+    """Worker body: drain the ring into a shard-local group.
+
+    Spawn-safe top-level function.  The group has the *full* shard
+    layout; the parent only ever sends keys owned by this worker's
+    shards, so every other shard stays pristine (the precondition for
+    the drain merge's identity fast path).  ``crash_after_chunks`` is
+    the fault hook: die hard (``os._exit``) while holding an unprocessed
+    chunk — modelling a mid-stream ``kill -9``.
+    """
+    ring = ChunkRing.from_handle(handle)
+    registry = install_registry(MetricsRegistry())
+    group = ShardedASketch(**group_params)
+    chunks_done = 0
+    items_done = 0
+    sync_target: int | None = None
+    try:
+        while True:
+            while conn.poll():
+                message = conn.recv()
+                if isinstance(message, tuple) and message[0] == "sync":
+                    sync_target = int(message[1])
+            if sync_target is not None and chunks_done >= sync_target:
+                _send_snapshot(conn, group, registry, chunks_done, items_done)
+                sync_target = None
+            chunk = ring.get(timeout=0.05)
+            if chunk is RING_TIMEOUT:
+                parent = mp.parent_process()
+                if parent is not None and not parent.is_alive():
+                    return  # orphaned: parent died, nobody will drain us
+                continue
+            if chunk is None:
+                break
+            if (
+                crash_after_chunks is not None
+                and chunks_done >= crash_after_chunks
+            ):
+                os._exit(17)  # injected mid-stream death, no cleanup
+            group.process_batch(chunk)
+            chunks_done += 1
+            items_done += int(chunk.shape[0])
+            if chunks_done % sync_every == 0:
+                _send_snapshot(conn, group, registry, chunks_done, items_done)
+        _send_snapshot(conn, group, registry, chunks_done, items_done)
+        conn.send(("done", int(chunks_done), int(items_done)))
+    except Exception as error:  # surface, then die visibly
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:
+            pass
+        sys.exit(1)
+    finally:
+        uninstall_registry()
+        ring.close()
+        conn.close()
+
+
+# -- the parent-side runtime -------------------------------------------------
+
+
+@dataclass
+class _WorkerSlot:
+    """Parent-side bookkeeping for one worker process."""
+
+    index: int
+    process: Any
+    ring: ChunkRing
+    conn: Any
+    sent_chunks: int = 0
+    sent_items: int = 0
+    acked_chunks: int = 0
+    retained: deque = field(default_factory=deque)
+    snapshot_state: SynopsisState | None = None
+    snapshot_chunks: int = 0
+    snapshot_items: int = 0
+    status: str = "ok"
+    inline_group: ShardedASketch | None = None
+    metrics_last: dict = field(default_factory=dict)
+    done: bool = False
+    error: str | None = None
+
+    @property
+    def feeding_ring(self) -> bool:
+        """Whether new shares still go through the shared-memory ring."""
+        return self.status == "ok"
+
+
+class ParallelIngestRuntime:
+    """Drive one logical ShardedASketch with N worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; worker ``w`` owns shards ``s`` with
+        ``s % workers == w``.
+    shards:
+        Shard count (default: one per worker).  Must be >= ``workers``.
+    total_bytes, filter_items, filter_kind, num_hashes, seed:
+        The :class:`~repro.runtime.sharding.ShardedASketch` layout —
+        identical to what a sequential run would build, which is what
+        the bit-identity guarantee is measured against.
+    slots, slot_capacity:
+        Ring geometry per worker (``slot_capacity`` must cover the
+        largest per-worker chunk share).
+    sync_every:
+        Worker snapshot cadence in chunks; bounds both the retained
+        replay tail in the parent and the data a standby failover loses
+        to its one-sided fallback.
+    failover:
+        ``"inline"`` (exact in-parent recovery, bit-identity preserved)
+        or ``"standby"`` (PR-3 degradation: frozen snapshot + standby
+        Count-Min via :meth:`ShardSupervisor.fail_shard`).
+    standby_hashes, standby_bytes:
+        Standby sizing, forwarded to :class:`ShardSupervisor`.
+    inject_crash:
+        ``{worker_id: after_chunks}`` fault hook — that worker calls
+        ``os._exit`` once it has processed ``after_chunks`` chunks.
+    put_timeout, drain_timeout:
+        Seconds the parent waits on a stuck ring slot / on drain
+        messages before declaring the worker hung and failing it over.
+    """
+
+    FAILOVER_MODES = ("inline", "standby")
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        shards: int | None = None,
+        total_bytes: int = 32 * 1024,
+        filter_items: int = 32,
+        filter_kind: str = "relaxed-heap",
+        num_hashes: int = 8,
+        seed: int = 0,
+        slots: int = 8,
+        slot_capacity: int = 1 << 16,
+        sync_every: int = 8,
+        failover: str = "inline",
+        standby_hashes: int = 4,
+        standby_bytes: int | None = None,
+        inject_crash: dict[int, int] | None = None,
+        put_timeout: float = 60.0,
+        drain_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        shards = workers if shards is None else int(shards)
+        if shards < workers:
+            raise ConfigurationError(
+                f"need at least one shard per worker: shards={shards} < "
+                f"workers={workers}"
+            )
+        if sync_every < 1:
+            raise ConfigurationError(
+                f"sync_every must be >= 1, got {sync_every}"
+            )
+        if failover not in self.FAILOVER_MODES:
+            raise ConfigurationError(
+                f"failover must be one of {self.FAILOVER_MODES}, "
+                f"got {failover!r}"
+            )
+        self.workers = int(workers)
+        self.group_params = {
+            "shards": shards,
+            "total_bytes": int(total_bytes),
+            "filter_items": int(filter_items),
+            "filter_kind": filter_kind,
+            "num_hashes": int(num_hashes),
+            "seed": int(seed),
+        }
+        self.slots = int(slots)
+        self.slot_capacity = int(slot_capacity)
+        self.sync_every = int(sync_every)
+        self.failover = failover
+        self.standby_hashes = int(standby_hashes)
+        self.standby_bytes = standby_bytes
+        self.inject_crash = dict(inject_crash or {})
+        self.put_timeout = float(put_timeout)
+        self.drain_timeout = float(drain_timeout)
+        #: The combined result (populated by :meth:`run`).
+        self.supervisor: ShardSupervisor | None = None
+        self.stats = EngineStats()
+        self._slots: list[_WorkerSlot] = []
+
+    def shards_of(self, worker: int) -> list[int]:
+        """Shard indices owned by one worker."""
+        return [
+            s
+            for s in range(self.group_params["shards"])
+            if s % self.workers == worker
+        ]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        ctx = mp.get_context("spawn")
+        # Spawn re-imports modules in a fresh interpreter: sys.path edits
+        # made in-process (benchmark scripts, test harnesses) are not
+        # inherited, so pin the package root into PYTHONPATH around the
+        # starts.
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        previous = os.environ.get("PYTHONPATH")
+        entries = (previous or "").split(os.pathsep) if previous else []
+        if package_root not in entries:
+            os.environ["PYTHONPATH"] = os.pathsep.join(
+                [package_root, *entries]
+            )
+        try:
+            for index in range(self.workers):
+                ring = ChunkRing(self.slots, self.slot_capacity)
+                try:
+                    parent_conn, child_conn = ctx.Pipe(duplex=True)
+                    process = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            index,
+                            ring.handle(),
+                            self.group_params,
+                            child_conn,
+                            self.sync_every,
+                            self.inject_crash.get(index),
+                        ),
+                        daemon=True,
+                        name=f"repro-ingest-{index}",
+                    )
+                    process.start()
+                except BaseException:
+                    # A failed start would otherwise leak this ring:
+                    # it only enters _slots (and _shutdown's sweep)
+                    # after the process is up.
+                    ring.close()
+                    ring.unlink()
+                    raise
+                child_conn.close()
+                self._slots.append(
+                    _WorkerSlot(
+                        index=index, process=process, ring=ring,
+                        conn=parent_conn,
+                    )
+                )
+        finally:
+            if previous is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = previous
+
+    def _shutdown(self) -> None:
+        for slot in self._slots:
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join(timeout=10.0)
+            slot.ring.close()
+            slot.ring.unlink()
+        registry = current_registry()
+        if registry is not None:
+            registry.gauge("parallel_workers_alive").set(0)
+
+    # -- message handling --------------------------------------------------
+
+    def _apply_worker_metrics(self, slot: _WorkerSlot, rows: list) -> None:
+        registry = current_registry()
+        if registry is None:
+            return
+        for kind, name, labels, value in rows:
+            labelled = {**labels, "worker": str(slot.index)}
+            if kind == "counter":
+                key = (name, tuple(sorted(labelled.items())))
+                last = slot.metrics_last.get(key, 0.0)
+                if value > last:
+                    registry.counter(name, **labelled).inc(value - last)
+                slot.metrics_last[key] = value
+            else:
+                registry.gauge(name, **labelled).set(value)
+
+    def _handle_message(self, slot: _WorkerSlot, message: tuple) -> None:
+        tag = message[0]
+        if tag == "snapshot":
+            _, chunks_done, items_done, state, metric_rows = message
+            slot.snapshot_state = state
+            slot.snapshot_chunks = int(chunks_done)
+            slot.snapshot_items = int(items_done)
+            # The snapshot covers the first chunks_done FIFO chunks this
+            # worker received — drop exactly that prefix of the retained
+            # replay tail.
+            while slot.acked_chunks < slot.snapshot_chunks and slot.retained:
+                slot.retained.popleft()
+                slot.acked_chunks += 1
+            self._apply_worker_metrics(slot, metric_rows)
+        elif tag == "done":
+            slot.done = True
+        elif tag == "error":
+            slot.error = str(message[1])
+
+    def _drain_messages(self, slot: _WorkerSlot) -> None:
+        try:
+            while slot.conn.poll():
+                self._handle_message(slot, slot.conn.recv())
+        except (EOFError, OSError):
+            pass  # pipe gone; liveness check deals with the process
+
+    def _drain_all_messages(self) -> None:
+        """Drain every live worker's pipe.
+
+        A snapshot can exceed the pipe buffer, so a worker may *block in
+        send* until the parent reads — any parent-side wait loop must
+        keep draining all pipes or two blocked sides deadlock (worker
+        stuck in send, parent stuck waiting for that worker's ring).
+        """
+        for slot in self._slots:
+            if slot.feeding_ring:
+                self._drain_messages(slot)
+
+    def _check_liveness(self) -> None:
+        for slot in self._slots:
+            if not slot.feeding_ring:
+                continue
+            self._drain_messages(slot)
+            if slot.process.is_alive() or slot.done:
+                continue
+            self._fail_worker(
+                slot,
+                f"worker {slot.index} died "
+                f"(exitcode {slot.process.exitcode})",
+            )
+
+    # -- failover ----------------------------------------------------------
+
+    def _fail_worker(self, slot: _WorkerSlot, reason: str) -> None:
+        """Recover a dead/hung worker's traffic per the failover mode."""
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "parallel_worker_failures_total", worker=str(slot.index)
+            ).inc()
+        self._drain_messages(slot)  # salvage any final snapshot in flight
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=10.0)
+        pending = list(slot.retained)
+        slot.retained.clear()
+        assert self.supervisor is not None
+        if self.failover == "inline":
+            if slot.snapshot_state is not None:
+                group = ShardedASketch.from_state(slot.snapshot_state)
+            else:
+                group = ShardedASketch(**self.group_params)
+            for share in pending:
+                group.process_batch(share)
+            slot.inline_group = group
+            slot.status = "inlined"
+        else:
+            if slot.snapshot_state is not None:
+                self.supervisor.group.merge(
+                    ShardedASketch.from_state(slot.snapshot_state)
+                )
+            for shard_index in self.shards_of(slot.index):
+                self.supervisor.fail_shard(shard_index, reason)
+            for share in pending:
+                if share.size:
+                    self.supervisor.process_batch(share)
+            slot.status = "failed"
+        slot.error = slot.error or reason
+        slot.ring.close()
+        slot.ring.unlink()
+
+    def _feed(self, slot: _WorkerSlot, share: np.ndarray) -> None:
+        """Route one chunk share to a worker (or its failover path)."""
+        if slot.status == "inlined":
+            assert slot.inline_group is not None
+            slot.inline_group.process_batch(share)
+            return
+        if slot.status == "failed":
+            if share.size:
+                assert self.supervisor is not None
+                self.supervisor.process_batch(share)
+            return
+        deadline = time.monotonic() + self.put_timeout
+        while not slot.ring.put(share, timeout=0.25):
+            self._drain_all_messages()
+            if not slot.process.is_alive():
+                self._fail_worker(
+                    slot,
+                    f"worker {slot.index} died "
+                    f"(exitcode {slot.process.exitcode})",
+                )
+                self._feed(slot, share)
+                return
+            if time.monotonic() > deadline:
+                self._fail_worker(
+                    slot,
+                    f"worker {slot.index} hung: ring full for "
+                    f"{self.put_timeout:.0f}s",
+                )
+                self._feed(slot, share)
+                return
+        slot.sent_chunks += 1
+        slot.sent_items += int(share.shape[0])
+        slot.retained.append(share)
+        registry = current_registry()
+        if registry is not None and share.size:
+            registry.counter(
+                "parallel_worker_items_total", worker=str(slot.index)
+            ).inc(int(share.shape[0]))
+
+    # -- driving -----------------------------------------------------------
+
+    def run(
+        self,
+        chunks: Iterable[np.ndarray],
+        *,
+        checkpoint_store: CheckpointStore | None = None,
+        checkpoint_every: int | None = None,
+    ) -> EngineStats:
+        """Ingest a chunk stream across the worker fleet and combine.
+
+        Returns :class:`EngineStats` whose ``wall_seconds`` covers the
+        whole pipeline — feeding, worker ingest, and the drain merge —
+        which is the number real-vs-model speedups are measured on.
+        The combined result is :attr:`supervisor`.
+        """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint_store is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_store"
+            )
+        self.stats = EngineStats()
+        self.supervisor = ShardSupervisor(
+            standby_hashes=self.standby_hashes,
+            standby_bytes=self.standby_bytes,
+            **self.group_params,
+        )
+        registry = current_registry()
+        start = time.perf_counter()
+        chunks_since_checkpoint = 0
+        try:
+            # Inside the try so a mid-start failure still sweeps the
+            # workers and rings already launched.
+            self._start_workers()
+            router = self.supervisor.group
+            for chunk in chunks:
+                chunk = coerce_chunk(chunk, self.stats.chunks_ingested)
+                owners = router.owners_of(chunk)
+                if registry is not None:
+                    self._record_routing_metrics(registry, owners)
+                worker_of = owners % self.workers
+                for slot in self._slots:
+                    self._feed(slot, chunk[worker_of == slot.index])
+                self.stats.tuples_ingested += int(chunk.shape[0])
+                self.stats.chunks_ingested += 1
+                chunks_since_checkpoint += 1
+                self._check_liveness()
+                if registry is not None:
+                    self._record_fleet_metrics(registry)
+                if (
+                    checkpoint_every is not None
+                    and chunks_since_checkpoint >= checkpoint_every
+                ):
+                    self.checkpoint(checkpoint_store)
+                    chunks_since_checkpoint = 0
+            self._drain()
+            if checkpoint_store is not None and chunks_since_checkpoint > 0:
+                checkpoint_store.save(
+                    self.supervisor,
+                    chunk_index=self.stats.chunks_ingested,
+                    tuples_ingested=self.stats.tuples_ingested,
+                )
+        finally:
+            self._shutdown()
+        self.stats.wall_seconds = time.perf_counter() - start
+        if registry is not None:
+            registry.gauge("engine_items_per_s").set(
+                1000.0 * self.stats.wall_throughput_items_per_ms
+            )
+        return self.stats
+
+    def _record_routing_metrics(
+        self, registry: MetricsRegistry, owners: np.ndarray
+    ) -> None:
+        if owners.size == 0:
+            return
+        shares = np.bincount(owners, minlength=self.group_params["shards"])
+        for index, share in enumerate(shares.tolist()):
+            if share:
+                registry.counter(
+                    "shard_items_total", shard=str(index)
+                ).inc(share)
+        balanced = owners.size / self.group_params["shards"]
+        registry.gauge("shard_skew").set(float(shares.max()) / balanced)
+        registry.counter("engine_tuples_total").inc(int(owners.size))
+        registry.counter("engine_chunks_total").inc()
+
+    def _record_fleet_metrics(self, registry: MetricsRegistry) -> None:
+        alive = 0
+        for slot in self._slots:
+            if slot.feeding_ring and slot.process.is_alive():
+                alive += 1
+                registry.gauge(
+                    "parallel_ring_depth", worker=str(slot.index)
+                ).set(slot.ring.depth())
+        registry.gauge("parallel_workers_alive").set(alive)
+
+    def _await_snapshots(self, target_of) -> None:
+        """Block until every ring-fed worker's snapshot covers its target.
+
+        ``target_of(slot)`` gives the chunk count the snapshot must
+        reach.  Workers that die or stall past ``drain_timeout`` while
+        we wait are failed over on the spot.
+        """
+        deadline = time.monotonic() + self.drain_timeout
+        while True:
+            waiting = [
+                slot
+                for slot in self._slots
+                if slot.feeding_ring
+                and slot.snapshot_chunks < target_of(slot)
+            ]
+            if not waiting:
+                return
+            self._drain_all_messages()
+            for slot in waiting:
+                if (
+                    slot.snapshot_chunks < target_of(slot)
+                    and not slot.process.is_alive()
+                ):
+                    self._fail_worker(
+                        slot,
+                        f"worker {slot.index} died "
+                        f"(exitcode {slot.process.exitcode})",
+                    )
+            if time.monotonic() > deadline:
+                for slot in waiting:
+                    if slot.feeding_ring:
+                        self._fail_worker(
+                            slot,
+                            f"worker {slot.index} hung: no snapshot within "
+                            f"{self.drain_timeout:.0f}s",
+                        )
+                return
+            time.sleep(0.005)
+
+    def _drain(self) -> None:
+        """End of stream: EOF every ring, collect finals, merge."""
+        assert self.supervisor is not None
+        for slot in self._slots:
+            deadline = time.monotonic() + self.put_timeout
+            while slot.feeding_ring:
+                if slot.ring.close_producer(timeout=0.25):
+                    break
+                self._drain_all_messages()
+                if not slot.process.is_alive():
+                    self._fail_worker(
+                        slot,
+                        f"worker {slot.index} died "
+                        f"(exitcode {slot.process.exitcode})",
+                    )
+                elif time.monotonic() > deadline:
+                    self._fail_worker(
+                        slot,
+                        f"worker {slot.index} hung: ring full at drain",
+                    )
+        self._await_snapshots(lambda slot: slot.sent_chunks)
+        registry = current_registry()
+        merge_start = time.perf_counter()
+        for slot in self._slots:
+            if slot.status == "ok" and slot.snapshot_state is not None:
+                self.supervisor.group.merge(
+                    ShardedASketch.from_state(slot.snapshot_state)
+                )
+            elif slot.status == "inlined":
+                assert slot.inline_group is not None
+                self.supervisor.group.merge(slot.inline_group)
+            # failed: frozen snapshot + standby were folded in at failure
+        merge_elapsed = time.perf_counter() - merge_start
+        if registry is not None:
+            registry.histogram("parallel_merge_seconds").observe(
+                merge_elapsed
+            )
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self, store: CheckpointStore) -> dict:
+        """Quiesce, snapshot every worker, save the combined state.
+
+        The parent has stopped feeding when this runs (it is called
+        between chunks), so each worker drains its ring to exactly
+        ``sent_chunks`` and answers the sync request with a snapshot at
+        that position; the merged clone saved to ``store`` therefore
+        covers every chunk ingested so far — the same exactly-once
+        replay point semantics as :class:`CheckpointStore` sequential
+        checkpoints.
+        """
+        assert self.supervisor is not None
+        for slot in self._slots:
+            if slot.feeding_ring:
+                try:
+                    slot.conn.send(("sync", slot.sent_chunks))
+                except (OSError, BrokenPipeError):
+                    pass  # liveness handling in _await_snapshots
+        self._await_snapshots(lambda slot: slot.sent_chunks)
+        clone = ShardSupervisor.from_state(self.supervisor.state())
+        for slot in self._slots:
+            if slot.status == "ok" and slot.snapshot_state is not None:
+                clone.group.merge(
+                    ShardedASketch.from_state(slot.snapshot_state)
+                )
+            elif slot.status == "inlined":
+                assert slot.inline_group is not None
+                clone.group.merge(
+                    ShardedASketch.from_state(slot.inline_group.state())
+                )
+        return store.save(
+            clone,
+            chunk_index=self.stats.chunks_ingested,
+            tuples_ingested=self.stats.tuples_ingested,
+        )
+
+    # -- health -------------------------------------------------------------
+
+    def worker_health(self) -> list[dict]:
+        """Per-worker liveness/progress snapshot (JSON-safe)."""
+        return [
+            {
+                "worker": slot.index,
+                "status": slot.status,
+                "alive": slot.process.is_alive(),
+                "pid": slot.process.pid,
+                "exitcode": slot.process.exitcode,
+                "sent_chunks": slot.sent_chunks,
+                "sent_items": slot.sent_items,
+                "snapshot_chunks": slot.snapshot_chunks,
+                "shards": self.shards_of(slot.index),
+                "error": slot.error,
+            }
+            for slot in self._slots
+        ]
+
+    def shard_health(self) -> list[dict]:
+        """Per-shard status from the combined supervisor.
+
+        After a ``standby`` failover the dead worker's shards read
+        ``failed`` here — process liveness surfaced through the same
+        :meth:`ShardSupervisor.shard_health` view sequential
+        deployments use.
+        """
+        if self.supervisor is None:
+            return []
+        return self.supervisor.shard_health()
+
+
+def parallel_ingest(
+    chunks: Iterable[np.ndarray],
+    workers: int,
+    **params: Any,
+) -> tuple[ShardSupervisor, EngineStats]:
+    """One-shot convenience: run a fleet over ``chunks``, return result.
+
+    ``params`` are :class:`ParallelIngestRuntime` keyword arguments.
+    Returns the combined :class:`ShardSupervisor` (queryable, mergeable,
+    persistable) and the run's :class:`EngineStats`.
+    """
+    runtime = ParallelIngestRuntime(workers, **params)
+    stats = runtime.run(chunks)
+    assert runtime.supervisor is not None
+    return runtime.supervisor, stats

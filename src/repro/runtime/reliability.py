@@ -653,6 +653,19 @@ class ShardSupervisor:
         self._check_index(index)
         self._forced.add(index)
 
+    def fail_shard(self, index: int, reason: str) -> None:
+        """Mark a shard failed from outside the ingest path.
+
+        The cross-process hook: when a shard lives in a *worker process*
+        (see :mod:`repro.runtime.parallel`) the failure signal is the
+        worker's death, observed by the parent — there is no in-band
+        exception for :meth:`process_batch` to catch.  The shard is
+        marked exactly as an ingest-path failure would mark it; all
+        subsequent traffic for its key range goes to the standby.
+        """
+        self._check_index(index)
+        self._mark_failed(index, ShardFailedError(reason))
+
     def _mark_failed(self, index: int, error: Exception) -> None:
         self._status[index] = self.STATUS_FAILED
         self._errors[index] = f"{type(error).__name__}: {error}"

@@ -1,0 +1,390 @@
+"""Tests for the shared-memory multiprocess ingest runtime.
+
+Everything here runs real spawned worker processes (no mocks, no
+threads-pretending-to-be-processes): the bit-identity, failover and
+cleanup claims in :mod:`repro.runtime.parallel` are only worth anything
+when exercised across actual process boundaries.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import install_registry, uninstall_registry
+from repro.runtime.engine import StreamEngine
+from repro.runtime.parallel import (
+    RING_TIMEOUT,
+    ChunkRing,
+    ParallelIngestRuntime,
+    parallel_ingest,
+)
+from repro.runtime.reliability import CheckpointStore
+from repro.runtime.sharding import ShardedASketch
+from repro.streams.zipf import zipf_stream
+
+GROUP_PARAMS = {"total_bytes": 32 * 1024, "filter_items": 16, "seed": 31}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(40_000, 10_000, 1.5, seed=171)
+
+
+def chunks_of(stream, size=4_000):
+    keys = stream.keys
+    return [keys[i : i + size] for i in range(0, keys.shape[0], size)]
+
+
+def sequential_group(stream, shards, chunk_size=4_000):
+    group = ShardedASketch(shards, **GROUP_PARAMS)
+    StreamEngine(group, batched=True).run(chunks_of(stream, chunk_size))
+    return group
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob("/dev/shm/psm_*")
+
+
+class TestChunkRing:
+    def test_put_get_roundtrip(self):
+        ring = ChunkRing(slots=4, slot_capacity=16)
+        try:
+            first = np.arange(10, dtype=np.int64)
+            second = np.array([7, 7, 7], dtype=np.int64)
+            assert ring.put(first, timeout=1.0)
+            assert ring.put(second, timeout=1.0)
+            assert ring.depth() == 2
+            np.testing.assert_array_equal(ring.get(timeout=1.0), first)
+            np.testing.assert_array_equal(ring.get(timeout=1.0), second)
+            assert ring.depth() == 0
+            assert ring.items_published() == 13
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_eof_and_timeout_are_distinct(self):
+        ring = ChunkRing(slots=2, slot_capacity=8)
+        try:
+            assert ring.get(timeout=0.01) is RING_TIMEOUT
+            assert ring.close_producer(timeout=1.0)
+            assert ring.get(timeout=1.0) is None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_full_ring_times_out_then_frees(self):
+        ring = ChunkRing(slots=2, slot_capacity=8)
+        try:
+            chunk = np.ones(4, dtype=np.int64)
+            assert ring.put(chunk, timeout=0.5)
+            assert ring.put(chunk, timeout=0.5)
+            assert not ring.put(chunk, timeout=0.01)  # full
+            ring.get(timeout=1.0)
+            assert ring.put(chunk, timeout=0.5)  # slot freed
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_chunk_rejected(self):
+        ring = ChunkRing(slots=2, slot_capacity=8)
+        try:
+            with pytest.raises(ConfigurationError):
+                ring.put(np.zeros(9, dtype=np.int64))
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_empty_chunk_roundtrips(self):
+        ring = ChunkRing(slots=2, slot_capacity=8)
+        try:
+            assert ring.put(np.empty(0, dtype=np.int64), timeout=1.0)
+            out = ring.get(timeout=1.0)
+            assert out is not None and out is not RING_TIMEOUT
+            assert out.shape == (0,)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChunkRing(slots=0)
+        with pytest.raises(ConfigurationError):
+            ChunkRing(slot_capacity=0)
+
+
+class TestConfigValidation:
+    def test_workers_positive(self):
+        with pytest.raises(ConfigurationError):
+            ParallelIngestRuntime(0)
+
+    def test_at_least_one_shard_per_worker(self):
+        with pytest.raises(ConfigurationError):
+            ParallelIngestRuntime(4, shards=2)
+
+    def test_failover_mode_checked(self):
+        with pytest.raises(ConfigurationError):
+            ParallelIngestRuntime(2, failover="restart")
+
+    def test_sync_every_positive(self):
+        with pytest.raises(ConfigurationError):
+            ParallelIngestRuntime(2, sync_every=0)
+
+    def test_checkpoint_every_requires_store(self, stream):
+        runtime = ParallelIngestRuntime(2, **GROUP_PARAMS)
+        with pytest.raises(ConfigurationError):
+            runtime.run(chunks_of(stream), checkpoint_every=2)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers,shards", [(1, 1), (2, 4), (3, 4)])
+    def test_merged_equals_sequential(self, stream, workers, shards):
+        sequential = sequential_group(stream, shards)
+        supervisor, stats = parallel_ingest(
+            iter(chunks_of(stream)), workers, shards=shards, **GROUP_PARAMS
+        )
+        assert stats.tuples_ingested == len(stream)
+        assert supervisor.group.state().equals(sequential.state())
+        queries = stream.keys[:500]
+        assert supervisor.query_batch(queries) == [
+            sequential.query(int(k)) for k in queries
+        ]
+
+    def test_uneven_chunks_and_empty_shares(self, stream):
+        # Chunk sizes that don't divide evenly + more shards than
+        # workers force some per-worker shares to be empty; the chunk
+        # accounting must stay aligned regardless.
+        sequential = sequential_group(stream, shards=5, chunk_size=1_777)
+        supervisor, stats = parallel_ingest(
+            iter(chunks_of(stream, 1_777)), 2, shards=5, **GROUP_PARAMS
+        )
+        assert stats.chunks_ingested == len(chunks_of(stream, 1_777))
+        assert supervisor.group.state().equals(sequential.state())
+
+    def test_worker_health_reports_clean_run(self, stream):
+        runtime = ParallelIngestRuntime(2, shards=2, **GROUP_PARAMS)
+        runtime.run(chunks_of(stream))
+        health = runtime.worker_health()
+        assert [entry["status"] for entry in health] == ["ok", "ok"]
+        assert sum(entry["sent_items"] for entry in health) == len(stream)
+        assert all(entry["error"] is None for entry in health)
+        assert [entry["status"] for entry in runtime.shard_health()] == [
+            "ok",
+            "ok",
+        ]
+
+
+class TestInlineFailover:
+    def test_crash_mid_stream_still_bit_identical(self, stream):
+        sequential = sequential_group(stream, shards=4)
+        supervisor, stats = parallel_ingest(
+            iter(chunks_of(stream)),
+            3,
+            shards=4,
+            sync_every=2,
+            inject_crash={1: 3},
+            **GROUP_PARAMS,
+        )
+        assert stats.tuples_ingested == len(stream)
+        assert supervisor.group.state().equals(sequential.state())
+
+    def test_crash_before_first_snapshot(self, stream):
+        # Dies before any snapshot exists: the whole tail replays from
+        # a fresh group.
+        sequential = sequential_group(stream, shards=2)
+        supervisor, _ = parallel_ingest(
+            iter(chunks_of(stream)),
+            2,
+            shards=2,
+            sync_every=100,
+            inject_crash={0: 1},
+            **GROUP_PARAMS,
+        )
+        assert supervisor.group.state().equals(sequential.state())
+
+    def test_health_reflects_inlined_worker(self, stream):
+        runtime = ParallelIngestRuntime(
+            2, shards=2, sync_every=2, inject_crash={1: 2}, **GROUP_PARAMS
+        )
+        runtime.run(chunks_of(stream))
+        health = {entry["worker"]: entry for entry in runtime.worker_health()}
+        assert health[0]["status"] == "ok"
+        assert health[1]["status"] == "inlined"
+        assert "died" in health[1]["error"]
+        # Inline recovery is exact, so the shards all still read ok.
+        statuses = [entry["status"] for entry in runtime.shard_health()]
+        assert statuses == ["ok", "ok"]
+
+
+class TestStandbyFailover:
+    def test_dead_workers_shards_degrade(self, stream):
+        runtime = ParallelIngestRuntime(
+            3,
+            shards=4,
+            sync_every=2,
+            failover="standby",
+            inject_crash={1: 3},
+            **GROUP_PARAMS,
+        )
+        stats = runtime.run(chunks_of(stream))
+        assert stats.tuples_ingested == len(stream)
+        # Worker 1 owns exactly shard 1 (s % 3 == 1 for s in 0..3).
+        statuses = {
+            entry["shard"]: entry["status"]
+            for entry in runtime.shard_health()
+        }
+        assert statuses == {0: "ok", 1: "failed", 2: "ok", 3: "ok"}
+        health = {entry["worker"]: entry for entry in runtime.worker_health()}
+        assert health[1]["status"] == "failed"
+
+    def test_estimates_stay_one_sided(self, stream):
+        supervisor, _ = parallel_ingest(
+            iter(chunks_of(stream)),
+            3,
+            shards=4,
+            sync_every=2,
+            failover="standby",
+            inject_crash={1: 3},
+            **GROUP_PARAMS,
+        )
+        for key, count in stream.exact.top_k(50):
+            assert supervisor.query(int(key)) >= count
+
+
+class TestObservability:
+    def test_parent_and_worker_metrics(self, stream):
+        registry = install_registry()
+        try:
+            runtime = ParallelIngestRuntime(2, shards=4, **GROUP_PARAMS)
+            runtime.run(chunks_of(stream))
+            # Parent-side routing and fleet metrics.
+            assert registry.value("engine_tuples_total") == len(stream)
+            per_worker = [
+                registry.value("parallel_worker_items_total", worker=str(w))
+                for w in (0, 1)
+            ]
+            assert sum(per_worker) == len(stream)
+            assert registry.value("parallel_workers_alive") is not None
+            assert registry.value("shard_skew") > 0
+            # Worker-side metrics arrive re-labelled with worker=<id>.
+            worker_rows = [
+                instrument
+                for instrument in registry.instruments()
+                if instrument.name == "shard_items_total"
+                and dict(instrument.labels).get("worker") is not None
+            ]
+            assert worker_rows, "no forwarded worker metrics"
+        finally:
+            uninstall_registry()
+
+    def test_failure_counter_increments(self, stream):
+        registry = install_registry()
+        try:
+            parallel_ingest(
+                iter(chunks_of(stream)),
+                2,
+                shards=2,
+                sync_every=2,
+                inject_crash={1: 2},
+                **GROUP_PARAMS,
+            )
+            assert (
+                registry.value(
+                    "parallel_worker_failures_total", worker="1"
+                )
+                == 1
+            )
+        finally:
+            uninstall_registry()
+
+
+class TestCheckpointing:
+    def test_periodic_checkpoints_are_consistent(self, stream, tmp_path):
+        store = CheckpointStore(tmp_path)
+        runtime = ParallelIngestRuntime(2, shards=4, **GROUP_PARAMS)
+        runtime.run(
+            chunks_of(stream), checkpoint_store=store, checkpoint_every=4
+        )
+        restored, record = store.load_latest()
+        assert record["chunk_index"] == len(chunks_of(stream))
+        assert record["tuples_ingested"] == len(stream)
+        sequential = sequential_group(stream, shards=4)
+        assert restored.group.state().equals(sequential.state())
+
+    def test_mid_run_checkpoint_covers_prefix(self, stream, tmp_path):
+        # Every checkpoint taken after k chunks must equal a sequential
+        # ingest of exactly those k chunks (keep them all un-pruned).
+        from repro.persistence import load_synopsis
+
+        store = CheckpointStore(tmp_path, keep=16)
+        runtime = ParallelIngestRuntime(2, shards=4, **GROUP_PARAMS)
+        all_chunks = chunks_of(stream)
+        runtime.run(
+            all_chunks, checkpoint_store=store, checkpoint_every=3
+        )
+        records = store.journal_records()
+        assert len(records) >= 2
+        for record in records:
+            restored = load_synopsis(
+                store.snapshot_path(record["generation"])
+            )
+            prefix = ShardedASketch(4, **GROUP_PARAMS)
+            StreamEngine(prefix, batched=True).run(
+                all_chunks[: record["chunk_index"]]
+            )
+            assert restored.group.state().equals(prefix.state())
+
+
+class TestResourceHygiene:
+    def test_no_leaked_processes_or_shm(self, stream):
+        import multiprocessing as mp
+
+        before = set(leaked_segments())
+        runtime = ParallelIngestRuntime(
+            2, shards=2, sync_every=2, inject_crash={0: 2}, **GROUP_PARAMS
+        )
+        runtime.run(chunks_of(stream))
+        assert set(leaked_segments()) <= before
+        assert mp.active_children() == []
+
+    def test_failed_worker_start_cleans_up(self, stream, monkeypatch):
+        # If the Nth process fails to start, the rings and workers
+        # already launched (and the ring created for the failed start)
+        # must all be swept — nothing may leak.
+        import multiprocessing as mp
+        import multiprocessing.context as mp_context
+
+        original = mp_context.SpawnProcess.start
+        calls = {"n": 0}
+
+        def flaky_start(self):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("injected spawn failure")
+            return original(self)
+
+        monkeypatch.setattr(mp_context.SpawnProcess, "start", flaky_start)
+        before = set(leaked_segments())
+        runtime = ParallelIngestRuntime(2, shards=2, **GROUP_PARAMS)
+        with pytest.raises(OSError, match="injected spawn failure"):
+            runtime.run(chunks_of(stream))
+        assert set(leaked_segments()) <= before
+        assert mp.active_children() == []
+
+    def test_shutdown_even_when_source_raises(self, stream):
+        runtime = ParallelIngestRuntime(2, shards=2, **GROUP_PARAMS)
+
+        def exploding():
+            yield chunks_of(stream)[0]
+            raise RuntimeError("source failed")
+
+        before = set(leaked_segments())
+        with pytest.raises(RuntimeError, match="source failed"):
+            runtime.run(exploding())
+        import multiprocessing as mp
+
+        assert set(leaked_segments()) <= before
+        assert mp.active_children() == []

@@ -44,6 +44,19 @@ class TestAllExports:
             assert hasattr(module, name), f"{module_name}.{name}"
 
 
+class TestParallelSurface:
+    """The multiprocess runtime is a first-class public API."""
+
+    @pytest.mark.parametrize(
+        "name", ["ChunkRing", "ParallelIngestRuntime", "parallel_ingest"]
+    )
+    def test_exported_at_top_level_and_runtime(self, name):
+        runtime = importlib.import_module("repro.runtime")
+        assert name in repro.__all__
+        assert name in runtime.__all__
+        assert getattr(repro, name) is getattr(runtime, name)
+
+
 class TestDocstrings:
     def _public_members(self):
         for name in repro.__all__:
