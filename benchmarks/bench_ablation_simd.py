@@ -2,15 +2,22 @@
 
 Wall-clock comparison of the three find-index kernels on a 32-id filter
 array, plus the cost model's view of the same choice (one 16-id probe
-block vs 32 scalar comparisons).
+block vs 32 scalar comparisons), plus the *batch* membership ablation:
+the per-key python lane emulation vs the vectorised numpy kernel vs the
+compiled (numba) kernel over a whole key batch — the three probe paths
+a :meth:`Filter.add_many_if_present` call can take depending on the
+active :mod:`repro.kernels` backend.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.hardware.costs import CostModel, OpCounters
+from repro.kernels import available_backends, use_backend
 from repro.simd.engine import (
     numpy_find_index,
     scalar_find_index,
@@ -43,3 +50,63 @@ def test_modeled_simd_advantage():
     simd_cycles = model.cycles(simd_ops, 512)
     scalar_cycles = model.cycles(scalar_ops, 512)
     assert simd_cycles * 4 < scalar_cycles
+
+
+def test_batch_probe_backends(persist_text):
+    """The three bulk membership probe paths agree and are measured.
+
+    A 32-slot filter id array (stored value = key + 1) is probed with a
+    10K-key batch (hit-heavy, with a miss tail), through the per-key
+    python lane emulation (``simd_find_index``), the vectorised numpy
+    kernel, and — where numba is installed — the compiled kernel.  All
+    paths must return identical slot answers; the measured rates persist
+    to ``benchmarks/results/ablation_simd_batch.txt``.
+    """
+    rng = np.random.default_rng(7)
+    capacity = 32
+    monitored = rng.choice(np.arange(100, 4096), size=capacity, replace=False)
+    ids = np.zeros(capacity, dtype=np.int64)
+    ids[:] = monitored + 1
+    batch = np.concatenate(
+        [
+            rng.choice(monitored, size=8_000),  # hits
+            rng.integers(10_000, 20_000, size=2_000),  # misses
+        ]
+    ).astype(np.int64)
+    rng.shuffle(batch)
+
+    def lane_emulation() -> np.ndarray:
+        ids32 = ids.astype(np.int32)
+        return np.array(
+            [simd_find_index(ids32, int(key) + 1) for key in batch.tolist()],
+            dtype=np.int64,
+        )
+
+    def backend_probe(name: str):
+        def run() -> np.ndarray:
+            with use_backend(name) as backend:
+                return backend.membership_probe(ids, batch)
+
+        return run
+
+    paths = {"python-lanes": lane_emulation, "numpy-kernel": backend_probe("numpy")}
+    if "numba" in available_backends():
+        paths["numba-kernel"] = backend_probe("numba")
+
+    reference: np.ndarray | None = None
+    lines = []
+    for name, run in paths.items():
+        result = run()  # warm (and compile, for numba)
+        if reference is None:
+            reference = result
+        assert np.array_equal(result, reference), name
+        start = time.perf_counter()
+        repeats = 3
+        for _ in range(repeats):
+            run()
+        elapsed = (time.perf_counter() - start) / repeats
+        rate = batch.shape[0] / elapsed if elapsed > 0 else 0.0
+        lines.append(f"{name:14s} {rate:>14,.0f} probes/s")
+    if "numba-kernel" not in paths:
+        lines.append("numba-kernel   SKIPPED (numba not installed)")
+    persist_text("ablation_simd_batch", lines)

@@ -10,14 +10,19 @@ any shared bench's throughput dropped by more than the tolerance::
 Rules of engagement:
 
 * Only bench ids present in **both** documents are compared — adding a
-  bench never fails the gate, silently *dropping* one does.
+  bench never fails the gate, silently *dropping* one does, unless the
+  baseline row is marked ``optional: true`` (environment-dependent
+  benches like the numba leg, which legitimately vanish on runners
+  without the dependency).
 * Multi-worker benches (``workers > 1``) are skipped when the two
   documents were recorded on machines with different ``cpu_count``:
   a 2-worker number from a 4-cpu box and one from a 1-cpu box measure
   different things, and comparing them would make the gate flap with
   runner hardware.  They are also skipped when either run was
-  oversubscribed (``workers > cpu_count``) — such a number is
-  dominated by process-spawn overhead and swings wildly run to run.
+  oversubscribed — flagged explicitly via ``oversubscribed: true`` in
+  the row, or inferred from ``workers > cpu_count`` for older
+  documents — such a number is dominated by process-spawn overhead and
+  swings wildly run to run.
 * The tolerance is a fraction of baseline throughput (default 0.25:
   fail when current < 75% of baseline).  ``REPRO_PERF_GATE_TOLERANCE``
   overrides it without a workflow edit, for riding out a known-noisy
@@ -97,10 +102,12 @@ def compare(
                 f"{workers} workers)"
             )
             continue
-        if workers > 1 and any(
-            workers > int(doc.get("cpu_count") or 0)
+        oversubscribed = any(
+            bool(doc.get("oversubscribed"))
+            or (workers > 1 and workers > int(doc.get("cpu_count") or 0))
             for doc in (base, cur)
-        ):
+        )
+        if oversubscribed:
             lines.append(
                 f"  {bench_id:20s} SKIP ({workers} workers oversubscribed "
                 f"on {cur.get('cpu_count')} cpus)"
@@ -124,6 +131,14 @@ def compare(
 
     dropped = sorted(set(base_benches) - set(cur_benches))
     for bench_id in dropped:
+        if base_benches[bench_id].get("optional"):
+            # Environment-dependent benches (e.g. the numba leg) vanish
+            # legitimately when the current runner lacks the dependency.
+            lines.append(
+                f"  {bench_id:20s} SKIP (optional bench absent from "
+                "current run)"
+            )
+            continue
         regressions.append(
             f"{bench_id}: present in baseline but missing from current run"
         )

@@ -34,6 +34,11 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from repro.kernels import (  # noqa: E402
+    active_backend,
+    available_backends,
+    use_backend,
+)
 from repro.obs import install_registry, uninstall_registry  # noqa: E402
 from repro.runtime.engine import StreamEngine  # noqa: E402
 from repro.runtime.parallel import ParallelIngestRuntime  # noqa: E402
@@ -71,16 +76,26 @@ def _cpu_count() -> int:
         return os.cpu_count() or 1
 
 
-def _stamp(row: dict, workers: int) -> dict:
+def _stamp(row: dict, workers: int, optional: bool = False) -> dict:
     """Attach the context that makes a throughput number interpretable.
 
     A parallel items/s figure means nothing without knowing how many
     worker processes produced it and how many CPUs they had to share —
     the perf gate also keys off these to avoid comparing numbers taken
-    on differently sized machines.
+    on differently sized machines.  ``backend`` records which kernel
+    compute backend (:mod:`repro.kernels`) produced the number;
+    ``oversubscribed`` marks runs with more workers than CPUs, whose
+    throughput is spawn-overhead-dominated and excluded from both the
+    perf gate and any speedup claim.  ``optional`` marks benches that
+    only run in some environments (e.g. the numba leg) so the gate
+    treats their absence as a skip, not a drop.
     """
     row["workers"] = int(workers)
     row["cpu_count"] = _cpu_count()
+    row["backend"] = active_backend().name
+    row["oversubscribed"] = int(workers) > _cpu_count()
+    if optional:
+        row["optional"] = True
     return row
 
 
@@ -210,6 +225,22 @@ def record(tiny: bool) -> dict:
             _query_bench(keys, keys[:20_000]), workers=1
         ),
     }
+    if "numba" in available_backends():
+        # The compiled leg, recorded only where numba exists (CI's
+        # with-numba job, developer machines with `pip install .[native]`).
+        # Marked optional so a no-numba run's gate treats its absence as
+        # a skip rather than a dropped bench.
+        with use_backend("numba"):
+            benches["batched_ingest_native"] = _stamp(
+                _run_ingest_bench(
+                    build_synopsis(ASKETCH_SPEC.with_params(seed=64)),
+                    keys,
+                    chunk_size,
+                    batched=True,
+                ),
+                workers=1,
+                optional=True,
+            )
     return {
         "schema": SCHEMA,
         "git_sha": _git_sha(),
@@ -246,9 +277,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     for bench_id, row in sorted(document["benches"].items()):
         print(
-            f"{bench_id:16s} {row['items_per_s']:>12.0f} items/s  "
+            f"{bench_id:22s} {row['items_per_s']:>12.0f} items/s  "
             f"p50 {row['p50_chunk_seconds'] * 1000:.2f} ms  "
-            f"p99 {row['p99_chunk_seconds'] * 1000:.2f} ms"
+            f"p99 {row['p99_chunk_seconds'] * 1000:.2f} ms  "
+            f"[{row['backend']}]"
         )
     print(f"trajectory written to {path}")
     return 0

@@ -49,6 +49,12 @@ from repro.hardware import (
     PipelineSimulator,
     SpmdModel,
 )
+from repro.kernels import (
+    active_backend,
+    available_backends,
+    set_backend,
+    use_backend,
+)
 from repro.runtime import (
     CheckpointStore,
     ChunkRing,
@@ -155,6 +161,8 @@ __all__ = [
     "TopKBoard",
     "VectorFilter",
     "__version__",
+    "active_backend",
+    "available_backends",
     "build_synopsis",
     "current_registry",
     "install_registry",
@@ -174,11 +182,13 @@ __all__ = [
     "save_count_min",
     "save_hierarchical",
     "save_synopsis",
+    "set_backend",
     "snapshot_metrics",
     "trace_span",
     "uniform_stream",
     "uninstall_registry",
     "uninstall_tracer",
+    "use_backend",
     "validate_metrics_json",
     "write_metrics_json",
     "zipf_stream",

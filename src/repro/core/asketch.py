@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.filters import Filter, make_filter
 from repro.errors import ConfigurationError, NegativeCountError
 from repro.hardware.costs import OpCounters
+from repro.kernels import active_backend
 from repro.obs.registry import MetricsRegistry, current_registry
 from repro.obs.trace import current_tracer, trace_point
 from repro.sketches.base import FrequencySketch
@@ -452,10 +453,23 @@ class ASketch:
 
         # (4) at most ``max_exchanges_per_update`` exchanges per distinct
         # missed key, in first-appearance order (order-stable at chunk
-        # granularity), driven by post-chunk estimates.
-        estimates = self._sketch.estimate_batch(sketch_keys)
-        for key, estimate in zip(sketch_keys.tolist(), estimates):
-            self._run_exchanges(key, int(estimate))
+        # granularity), driven by post-chunk estimates.  The filter
+        # minimum is non-decreasing across exchanges (evicted entries are
+        # the minimum, inserted ones carry estimates above it), so keys
+        # whose estimate does not beat the minimum at step entry can
+        # never exchange — the kernel pre-check drops them before the
+        # Python loop, and the elided per-key min reads are charged in
+        # bulk to keep the operation record identical to the scalar loop.
+        estimates = np.asarray(
+            self._sketch.estimate_batch(sketch_keys), dtype=np.int64
+        )
+        threshold = filter_.peek_min_new_count()
+        candidates = active_backend().exchange_candidates(estimates, threshold)
+        filter_.charge_min_queries(sketch_keys.shape[0] - candidates.shape[0])
+        for position in candidates.tolist():
+            self._run_exchanges(
+                int(sketch_keys[position]), int(estimates[position])
+            )
 
     def record_misses(self, enabled: bool = True) -> None:
         """Toggle the per-item hit/miss trace.

@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.hardware.costs import OpCounters
+from repro.kernels import active_backend
+from repro.simd.engine import simd_probe_blocks
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,9 @@ class Filter(ABC):
             )
         self.capacity = int(capacity)
         self.ops = ops if ops is not None else OpCounters()
+        #: SIMD probe blocks one lookup over this capacity costs — the
+        #: unit the bulk membership path charges per probed key.
+        self._probe_blocks = simd_probe_blocks(self.capacity)
 
     # -- size -------------------------------------------------------------
 
@@ -144,6 +149,29 @@ class Filter(ABC):
         counts = self.get_counts(key)
         return None if counts is None else counts[0]
 
+    def peek_min_new_count(self) -> int:
+        """:meth:`min_new_count` without charging its operation cost.
+
+        The batched exchange pre-check reads the minimum once to skip
+        keys that cannot trigger an exchange, then charges the skipped
+        per-key min queries in bulk via :meth:`charge_min_queries` —
+        keeping the operation record identical to the scalar loop.  The
+        default delegates to :meth:`min_new_count`, which is correct
+        for implementations whose min read is free in the op record;
+        implementations that charge per query override this.
+        """
+        return self.min_new_count()
+
+    def charge_min_queries(self, queries: int) -> None:
+        """Charge the op cost of ``queries`` skipped min-count reads.
+
+        Companion of :meth:`peek_min_new_count`: the bulk exchange
+        pre-check calls this once with the number of per-key
+        :meth:`min_new_count` calls it elided, so op totals match the
+        scalar path exactly.  Default: no cost (heap root reads and
+        Stream-Summary bucket reads are free in the op record).
+        """
+
     # -- state capture (synopsis protocol) ----------------------------------
     #
     # Every filter kind persists through the same two methods, built on
@@ -178,13 +206,33 @@ class Filter(ABC):
 
     # -- bulk operations (batched ingest/query path) -----------------------
     #
-    # The defaults below loop over the scalar operations, so every filter
-    # implementation supports the ASketch batched path with unchanged
-    # semantics and operation accounting.  Array-backed filters override
-    # them with vectorised versions (see ``VectorFilter``).
+    # Filters that expose an id array (:meth:`probe_ids_array`) get their
+    # membership test from the active compute backend
+    # (:mod:`repro.kernels`) — one compiled/vectorised probe over the
+    # whole key batch — and apply the few hits through the ordinary
+    # scalar operations, so per-implementation bookkeeping (heap sifts,
+    # cached minima) and op charges are untouched.  Filters without an id
+    # array fall back to looping the scalar operations.  Either way the
+    # semantics and the operation record match the scalar loop exactly.
+
+    def probe_ids_array(self) -> np.ndarray | None:
+        """Id array for the bulk membership kernel, or None.
+
+        The array filters store slot value ``key + 1`` with ``0``
+        marking an empty slot (the layout Algorithm 3's SIMD scan
+        probes); returning it here routes :meth:`add_many_if_present`
+        and :meth:`lookup_many` through the active kernel backend.
+        Implementations returning an array must keep it consistent with
+        the scalar operations at every call boundary.
+        """
+        return None
 
     def keys_array(self) -> np.ndarray:
         """Currently monitored keys as an int64 array (order unspecified)."""
+        ids = self.probe_ids_array()
+        if ids is not None:
+            occupied = np.flatnonzero(ids)
+            return ids[occupied] - 1
         return np.fromiter(
             (entry.key for entry in self.entries()),
             dtype=np.int64,
@@ -198,16 +246,35 @@ class Filter(ABC):
 
         ``keys[i]`` receives ``amounts[i]`` if monitored.  Callers pass
         pre-aggregated (distinct key, chunk total) pairs, so one entry
-        here stands for a whole chunk's worth of scalar hits.
+        here stands for a whole chunk's worth of scalar hits.  With an
+        id array available, membership is resolved by one backend
+        kernel probe and only the hits re-enter
+        :meth:`add_if_present` (misses — the overwhelming majority on a
+        skewed stream — never touch the interpreter loop); the op
+        record is charged identically either way.
         """
         keys = np.asarray(keys, dtype=np.int64)
         amounts = np.asarray(amounts, dtype=np.int64)
-        hits = np.empty(keys.shape[0], dtype=bool)
-        for position, (key, amount) in enumerate(
-            zip(keys.tolist(), amounts.tolist())
-        ):
-            hits[position] = self.add_if_present(key, amount)
-        return hits
+        n = keys.shape[0]
+        ids = self.probe_ids_array()
+        if ids is None or n == 0:
+            hits = np.empty(n, dtype=bool)
+            for position, (key, amount) in enumerate(
+                zip(keys.tolist(), amounts.tolist())
+            ):
+                hits[position] = self.add_if_present(key, amount)
+            return hits
+        slots = active_backend().membership_probe(ids, keys)
+        mask = slots >= 0
+        hit_positions = np.flatnonzero(mask)
+        misses = n - hit_positions.shape[0]
+        self.ops.filter_probes += misses
+        self.ops.filter_probe_blocks += misses * self._probe_blocks
+        for position in hit_positions.tolist():
+            # Re-apply through the scalar hit path: heap slots move as
+            # hits sift, so precomputed slots cannot be written blindly.
+            self.add_if_present(int(keys[position]), int(amounts[position]))
+        return mask
 
     def lookup_many(
         self, keys: np.ndarray
@@ -215,16 +282,32 @@ class Filter(ABC):
         """Bulk :meth:`get_new_count`: ``(hit_mask, new_counts)``.
 
         ``new_counts[i]`` is only meaningful where ``hit_mask[i]`` is
-        True; misses are left as 0.  Keys need not be distinct.
+        True; misses are left as 0.  Keys need not be distinct.  Like
+        :meth:`add_many_if_present`, filters with an id array answer
+        membership with one backend kernel probe and read only the hits
+        through the scalar path.
         """
         keys = np.asarray(keys, dtype=np.int64)
-        mask = np.zeros(keys.shape[0], dtype=bool)
-        counts = np.zeros(keys.shape[0], dtype=np.int64)
-        for position, key in enumerate(keys.tolist()):
-            new_count = self.get_new_count(key)
-            if new_count is not None:
-                mask[position] = True
-                counts[position] = new_count
+        n = keys.shape[0]
+        mask = np.zeros(n, dtype=bool)
+        counts = np.zeros(n, dtype=np.int64)
+        ids = self.probe_ids_array()
+        if ids is None or n == 0:
+            for position, key in enumerate(keys.tolist()):
+                new_count = self.get_new_count(key)
+                if new_count is not None:
+                    mask[position] = True
+                    counts[position] = new_count
+            return mask, counts
+        slots = active_backend().membership_probe(ids, keys)
+        np.greater_equal(slots, 0, out=mask)
+        misses = n - int(np.count_nonzero(mask))
+        self.ops.filter_probes += misses
+        self.ops.filter_probe_blocks += misses * self._probe_blocks
+        for position in np.flatnonzero(mask).tolist():
+            new_count = self.get_new_count(int(keys[position]))
+            assert new_count is not None
+            counts[position] = new_count
         return mask, counts
 
     def top_k(self, k: int) -> list[tuple[int, int]]:

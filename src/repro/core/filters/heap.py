@@ -28,7 +28,6 @@ import numpy as np
 from repro.core.filters.base import Filter, FilterEntry
 from repro.errors import CapacityError
 from repro.hardware.costs import OpCounters
-from repro.simd.engine import simd_probe_blocks
 
 
 class _HeapFilterBase(Filter):
@@ -43,10 +42,13 @@ class _HeapFilterBase(Filter):
         self._old = [0] * self.capacity
         self._size = 0
         self._index: dict[int, int] = {}
-        self._probe_blocks = simd_probe_blocks(self.capacity)
 
     def __len__(self) -> int:
         return self._size
+
+    def probe_ids_array(self) -> np.ndarray:
+        """Heap-slot id array; hits re-enter the scalar path (slots sift)."""
+        return self._ids
 
     # -- lookup -------------------------------------------------------------
 

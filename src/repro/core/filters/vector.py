@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.filters.base import Filter, FilterEntry
 from repro.errors import CapacityError
 from repro.hardware.costs import OpCounters
-from repro.simd.engine import simd_probe_blocks
+from repro.kernels import active_backend
 
 
 class VectorFilter(Filter):
@@ -38,7 +38,6 @@ class VectorFilter(Filter):
         self._new = [0] * self.capacity
         self._old = [0] * self.capacity
         self._index: dict[int, int] = {}
-        self._probe_blocks = simd_probe_blocks(self.capacity)
         # Cached location/value of the minimum new_count.
         self._min_slot = -1
         self._min_value = 0
@@ -71,26 +70,19 @@ class VectorFilter(Filter):
 
     # -- bulk operations (batched ingest/query path) -------------------------
 
-    def _sorted_slot_view(self) -> tuple[np.ndarray, np.ndarray]:
-        """(sorted monitored keys, their slots) for searchsorted probes."""
-        occupied = np.flatnonzero(self._ids)
-        keys = self._ids[occupied] - 1
-        order = np.argsort(keys)
-        return keys[order], occupied[order]
-
-    def keys_array(self) -> np.ndarray:
-        occupied = np.flatnonzero(self._ids)
-        return self._ids[occupied] - 1
+    def probe_ids_array(self) -> np.ndarray:
+        """The slot id array — membership runs on the kernel backend."""
+        return self._ids
 
     def add_many_if_present(
         self, keys: np.ndarray, amounts: np.ndarray
     ) -> np.ndarray:
-        """Vectorised membership probe; hits aggregate in place.
+        """Backend membership kernel; hits aggregate in place.
 
-        Charged exactly like the equivalent scalar probes (one SIMD scan
-        per key) so the cost model sees the same operation mix; the
-        Python-level win is one NumPy membership test instead of a
-        per-key interpreter round trip.
+        Slots never move in this filter, so the kernel's slot answers
+        are applied directly (no per-hit re-find).  Charged exactly
+        like the equivalent scalar probes (one SIMD scan per key) so
+        the cost model sees the same operation mix.
         """
         keys = np.asarray(keys, dtype=np.int64)
         amounts = np.asarray(amounts, dtype=np.int64)
@@ -100,10 +92,8 @@ class VectorFilter(Filter):
         ops.filter_probe_blocks += n * self._probe_blocks
         if n == 0 or not self._index:
             return np.zeros(n, dtype=bool)
-        sorted_keys, slots = self._sorted_slot_view()
-        positions = np.searchsorted(sorted_keys, keys)
-        positions = np.minimum(positions, sorted_keys.shape[0] - 1)
-        mask = sorted_keys[positions] == keys
+        slots = active_backend().membership_probe(self._ids, keys)
+        mask = slots >= 0
         hit_count = int(np.count_nonzero(mask))
         if hit_count:
             ops.filter_hits += hit_count
@@ -111,7 +101,7 @@ class VectorFilter(Filter):
             min_slot = self._min_slot
             touched_min = False
             for slot, amount in zip(
-                slots[positions[mask]].tolist(), amounts[mask].tolist()
+                slots[mask].tolist(), amounts[mask].tolist()
             ):
                 new[slot] += amount
                 if slot == min_slot:
@@ -130,13 +120,11 @@ class VectorFilter(Filter):
         counts = np.zeros(n, dtype=np.int64)
         if n == 0 or not self._index:
             return np.zeros(n, dtype=bool), counts
-        sorted_keys, slots = self._sorted_slot_view()
-        positions = np.searchsorted(sorted_keys, keys)
-        positions = np.minimum(positions, sorted_keys.shape[0] - 1)
-        mask = sorted_keys[positions] == keys
+        slots = active_backend().membership_probe(self._ids, keys)
+        mask = slots >= 0
         if mask.any():
             new_counts = np.asarray(self._new, dtype=np.int64)
-            counts[mask] = new_counts[slots[positions[mask]]]
+            counts[mask] = new_counts[slots[mask]]
         return mask, counts
 
     # -- structural operations ----------------------------------------------
@@ -160,6 +148,16 @@ class VectorFilter(Filter):
             raise CapacityError("min_new_count on an empty filter")
         self.ops.min_scans += self.capacity
         return self._min_value
+
+    def peek_min_new_count(self) -> int:
+        """Cached minimum without the per-query scan charge."""
+        if self._min_slot < 0:
+            raise CapacityError("min_new_count on an empty filter")
+        return self._min_value
+
+    def charge_min_queries(self, queries: int) -> None:
+        """Each elided min query would have scanned the full array."""
+        self.ops.min_scans += self.capacity * int(queries)
 
     def replace_min(
         self, key: int, new_count: int, old_count: int

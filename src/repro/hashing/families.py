@@ -50,6 +50,32 @@ def encode_key_array(keys: np.ndarray) -> np.ndarray:
     return np.where(keys >= 0, keys << 1, (-keys << 1) - 1)
 
 
+def cw_fold_columns(
+    a_hi: int,
+    a_lo: int,
+    b_mod: int,
+    encoded: np.ndarray,
+    width: int,
+) -> np.ndarray:
+    """``((a*x + b) mod p) mod width`` for encoded keys below ``2**31``.
+
+    ``a`` arrives pre-split as ``a = a_hi * 2**31 + a_lo`` so every
+    product fits in 64 bits, and the ``a_hi * x * 2**31`` term reduces
+    with the Mersenne identity ``2**61 = 1 (mod p)``: write
+    ``y = y_hi * 2**30 + y_lo``, then ``y * 2**31 = y_hi * 2**61 +
+    y_lo * 2**31 = y_hi + y_lo * 2**31 (mod p)``.  With
+    ``a_hi < 2**30`` (``a < p``) and keys below ``2**31``, every
+    intermediate stays under ``2**62`` and every sum under ``3 * 2**61``,
+    so plain signed int64 arithmetic is exact — the same bound the
+    compiled kernels (:mod:`repro.kernels`) rely on, which share this
+    folding element-for-element.
+    """
+    lo = (a_lo * encoded) % MERSENNE_PRIME_61
+    hi = (a_hi * encoded) % MERSENNE_PRIME_61
+    hi_term = ((hi >> 30) + ((hi & ((1 << 30) - 1)) << 31)) % MERSENNE_PRIME_61
+    return ((lo + hi_term + b_mod) % MERSENNE_PRIME_61) % width
+
+
 class HashFamily(ABC):
     """A seeded hash function mapping integer keys onto ``[0, range)``."""
 
@@ -94,27 +120,29 @@ class CarterWegmanHash(HashFamily):
     def __call__(self, key: int) -> int:
         return ((self._a * key + self._b) % MERSENNE_PRIME_61) % self.output_range
 
+    @property
+    def kernel_params(self) -> tuple[int, int, int]:
+        """``(a_hi, a_lo, b mod p)`` for :func:`cw_fold_columns` callers.
+
+        The pre-split form the compiled kernels consume; valid for
+        encoded keys below ``2**31`` (see :func:`cw_fold_columns`).
+        """
+        return (
+            self._a >> 31,
+            self._a & ((1 << 31) - 1),
+            self._b % MERSENNE_PRIME_61,
+        )
+
     def hash_array(self, keys: np.ndarray) -> np.ndarray:
-        # NumPy has no native 128-bit ints; use Python object math only for
-        # the rare huge-key case and a float-safe fast path otherwise.
+        # NumPy has no native 128-bit ints; use Python object math only
+        # for the rare huge-key case and the int64-safe Mersenne folding
+        # (cw_fold_columns) otherwise.
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size and int(keys.max(initial=0)) < (1 << 31):
-            # Split a = a_hi * 2**31 + a_lo so every product fits uint64,
-            # and reduce the a_hi * x * 2**31 term with the Mersenne
-            # identity 2**61 = 1 (mod p): write y = y_hi * 2**30 + y_lo,
-            # then y * 2**31 = y_hi * 2**61 + y_lo * 2**31 = y_hi +
-            # y_lo * 2**31 (mod p), all within 64 bits.
-            p = np.uint64(MERSENNE_PRIME_61)
-            a_hi = np.uint64(self._a >> 31)
-            a_lo = np.uint64(self._a & ((1 << 31) - 1))
-            k = keys.astype(np.uint64)
-            lo = (a_lo * k) % p
-            hi = (a_hi * k) % p
-            hi_high = hi >> np.uint64(30)
-            hi_low = hi & np.uint64((1 << 30) - 1)
-            hi_term = (hi_high + (hi_low << np.uint64(31))) % p
-            total = (lo + hi_term + np.uint64(self._b % MERSENNE_PRIME_61)) % p
-            return (total % np.uint64(self.output_range)).astype(np.int64)
+            a_hi, a_lo, b_mod = self.kernel_params
+            return cw_fold_columns(
+                a_hi, a_lo, b_mod, keys, self.output_range
+            )
         out = np.empty(keys.shape, dtype=np.int64)
         flat_in = keys.reshape(-1)
         flat_out = out.reshape(-1)

@@ -1,0 +1,247 @@
+"""The three kernel backends: ``python``, ``numpy``, and ``numba``.
+
+All backends implement the same four operations (see
+:class:`KernelBackend`) with bit-identical results:
+
+* ``python`` — the portable loop bodies of :mod:`repro.kernels._impl`,
+  executed by the interpreter.  Slow; exists as the semantics reference
+  for the compiled leg and for environments without NumPy vectorisation
+  wins (it is also what makes the numba leg's logic testable without
+  numba installed).
+* ``numpy`` — vectorised reference implementation and the default.
+  Shares the Carter-Wegman folding with
+  :meth:`repro.hashing.families.CarterWegmanHash.hash_array` so kernel
+  and non-kernel code paths hash identically.
+* ``numba`` — ``numba.njit``-compiled versions of the *same* ``_impl``
+  functions (semantic identity by construction).  Optional: constructing
+  it raises ``ImportError`` when numba is absent; the registry in
+  :mod:`repro.kernels` turns that into a graceful fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.hashing.families import cw_fold_columns
+from repro.kernels import _impl
+
+_INT64_MAX = (1 << 63) - 1
+
+
+def _as_int64(array: np.ndarray) -> np.ndarray:
+    """Contiguous int64 view/copy of ``array`` for kernel consumption."""
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+class KernelBackend:
+    """One compute backend for the three compiled hot loops.
+
+    Subclasses supply the four raw operations; results are bit-identical
+    across backends (enforced by ``tests/kernels`` and the hypothesis
+    equivalence suite).  ``accelerated`` distinguishes genuinely
+    compiled backends from interpreted ones for metrics/bench stamping.
+    """
+
+    #: Registry name (``"python"`` / ``"numpy"`` / ``"numba"``).
+    name: str = "abstract"
+    #: True when the backend runs machine-compiled loops.
+    accelerated: bool = False
+
+    def membership_probe(
+        self, ids: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Slot of each key in a filter id array, ``-1`` on a miss."""
+        raise NotImplementedError
+
+    def cm_update_weighted(
+        self,
+        table: np.ndarray,
+        a_hi: np.ndarray,
+        a_lo: np.ndarray,
+        b_mod: np.ndarray,
+        encoded: np.ndarray,
+        amounts: np.ndarray,
+    ) -> None:
+        """Fused hash + scatter-add of (encoded key, amount) pairs."""
+        raise NotImplementedError
+
+    def cm_estimate(
+        self,
+        table: np.ndarray,
+        a_hi: np.ndarray,
+        a_lo: np.ndarray,
+        b_mod: np.ndarray,
+        encoded: np.ndarray,
+    ) -> np.ndarray:
+        """Fused hash + gather + row-minimum per encoded key."""
+        raise NotImplementedError
+
+    def exchange_candidates(
+        self, estimates: np.ndarray, threshold: int
+    ) -> np.ndarray:
+        """Positions whose estimate exceeds ``threshold``, ascending."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelBackend {self.name!r} accelerated={self.accelerated}>"
+
+
+class _LoopBackend(KernelBackend):
+    """Backend driving the shared ``_impl`` loop bodies.
+
+    ``python`` uses the functions directly; ``numba`` swaps in their
+    njit-compiled twins.  Everything else (allocation, trimming) is
+    identical, which is exactly the semantic-identity argument.
+    """
+
+    def __init__(self, compile_fn: Callable | None = None) -> None:
+        wrap = compile_fn if compile_fn is not None else (lambda fn: fn)
+        self._membership_probe = wrap(_impl.membership_probe)
+        self._cm_update_weighted = wrap(_impl.cm_update_weighted)
+        self._cm_estimate = wrap(_impl.cm_estimate)
+        self._exchange_candidates = wrap(_impl.exchange_candidates)
+
+    def membership_probe(
+        self, ids: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Loop-kernel membership probe (see ``_impl.membership_probe``)."""
+        keys = _as_int64(keys)
+        out = np.empty(keys.shape[0], dtype=np.int64)
+        self._membership_probe(_as_int64(ids), keys, out)
+        return out
+
+    def cm_update_weighted(
+        self, table, a_hi, a_lo, b_mod, encoded, amounts
+    ) -> None:
+        """Loop-kernel fused update (see ``_impl.cm_update_weighted``)."""
+        self._cm_update_weighted(
+            table, a_hi, a_lo, b_mod, _as_int64(encoded), _as_int64(amounts)
+        )
+
+    def cm_estimate(self, table, a_hi, a_lo, b_mod, encoded) -> np.ndarray:
+        """Loop-kernel fused estimate (see ``_impl.cm_estimate``)."""
+        encoded = _as_int64(encoded)
+        out = np.empty(encoded.shape[0], dtype=np.int64)
+        self._cm_estimate(table, a_hi, a_lo, b_mod, encoded, out)
+        return out
+
+    def exchange_candidates(
+        self, estimates: np.ndarray, threshold: int
+    ) -> np.ndarray:
+        """Loop-kernel candidate filter (see ``_impl.exchange_candidates``)."""
+        estimates = _as_int64(estimates)
+        out = np.empty(estimates.shape[0], dtype=np.int64)
+        count = self._exchange_candidates(estimates, int(threshold), out)
+        return out[: int(count)]
+
+
+class PythonBackend(_LoopBackend):
+    """Interpreted reference execution of the shared loop bodies."""
+
+    name = "python"
+    accelerated = False
+
+    def __init__(self) -> None:
+        super().__init__(compile_fn=None)
+
+
+class NumpyBackend(KernelBackend):
+    """Vectorised NumPy reference backend (the default)."""
+
+    name = "numpy"
+    accelerated = False
+
+    def membership_probe(
+        self, ids: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Sorted-view ``searchsorted`` membership over occupied slots."""
+        keys = _as_int64(keys)
+        out = np.full(keys.shape[0], -1, dtype=np.int64)
+        if keys.shape[0] == 0:
+            return out
+        ids = np.asarray(ids)
+        occupied = np.flatnonzero(ids)
+        if occupied.shape[0] == 0:
+            return out
+        stored = ids[occupied] - 1
+        order = np.argsort(stored)
+        sorted_keys = stored[order]
+        slots = occupied[order]
+        positions = np.searchsorted(sorted_keys, keys)
+        positions = np.minimum(positions, sorted_keys.shape[0] - 1)
+        mask = sorted_keys[positions] == keys
+        out[mask] = slots[positions[mask]]
+        return out
+
+    def cm_update_weighted(
+        self, table, a_hi, a_lo, b_mod, encoded, amounts
+    ) -> None:
+        """Per-row ``cw_fold_columns`` + ``np.add.at`` scatter."""
+        encoded = _as_int64(encoded)
+        amounts = _as_int64(amounts)
+        width = table.shape[1]
+        for row in range(table.shape[0]):
+            columns = cw_fold_columns(
+                int(a_hi[row]), int(a_lo[row]), int(b_mod[row]),
+                encoded, width,
+            )
+            np.add.at(table[row], columns, amounts)
+
+    def cm_estimate(self, table, a_hi, a_lo, b_mod, encoded) -> np.ndarray:
+        """Per-row ``cw_fold_columns`` gather folded with ``np.minimum``."""
+        encoded = _as_int64(encoded)
+        width = table.shape[1]
+        out = np.full(encoded.shape[0], _INT64_MAX, dtype=np.int64)
+        for row in range(table.shape[0]):
+            columns = cw_fold_columns(
+                int(a_hi[row]), int(a_lo[row]), int(b_mod[row]),
+                encoded, width,
+            )
+            np.minimum(out, table[row, columns], out=out)
+        return out
+
+    def exchange_candidates(
+        self, estimates: np.ndarray, threshold: int
+    ) -> np.ndarray:
+        """``np.flatnonzero`` over the threshold comparison."""
+        return np.flatnonzero(_as_int64(estimates) > int(threshold))
+
+
+class NumbaBackend(_LoopBackend):
+    """``numba.njit``-compiled execution of the shared loop bodies.
+
+    Constructing the backend imports numba, compiles the four kernels
+    (``cache=True`` so later processes reuse the on-disk cache) and
+    warms each with a tiny call, so selection cost is paid once up
+    front rather than mid-stream.  Raises ``ImportError`` when numba is
+    not installed — the registry converts that into a fallback to
+    ``numpy`` plus a warning metric.
+    """
+
+    name = "numba"
+    accelerated = True
+
+    def __init__(self) -> None:
+        import numba
+
+        super().__init__(
+            compile_fn=numba.njit(cache=True, nogil=True, fastmath=False)
+        )
+        self._warmup()
+
+    def _warmup(self) -> None:
+        """Trigger compilation of every kernel with minimal inputs."""
+        ids = np.array([2], dtype=np.int64)
+        keys = np.array([1, -1], dtype=np.int64)
+        self.membership_probe(ids, keys)
+        table = np.zeros((1, 4), dtype=np.int64)
+        row_param = np.array([1], dtype=np.int64)
+        encoded = np.array([3], dtype=np.int64)
+        self.cm_update_weighted(
+            table, row_param, row_param, row_param, encoded,
+            np.array([1], dtype=np.int64),
+        )
+        self.cm_estimate(table, row_param, row_param, row_param, encoded)
+        self.exchange_candidates(np.array([5], dtype=np.int64), 1)

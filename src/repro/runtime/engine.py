@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Protocol
 import numpy as np
 
 from repro.errors import ConfigurationError, PoisonChunkError
+from repro.kernels import stamp_backend
 from repro.obs.registry import current_registry
 from repro.obs.trace import current_tracer, trace_span
 
@@ -193,6 +194,10 @@ class StreamEngine:
         """
         ingest = self._ingest
         registry = current_registry()
+        if registry is not None:
+            # Which compute backend served this run — every perf number
+            # recorded below is meaningless without it.
+            stamp_backend(registry)
         traced = current_tracer() is not None
         for chunk in chunks:
             chunk_index = self.stats.chunks_ingested

@@ -60,6 +60,7 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels import active_backend, set_backend, stamp_backend
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -338,6 +339,7 @@ def _worker_main(
     group_params: dict,
     conn,
     sync_every: int,
+    backend_name: str,
     crash_after_chunks: int | None = None,
 ) -> None:
     """Worker body: drain the ring into a shard-local group.
@@ -345,10 +347,14 @@ def _worker_main(
     Spawn-safe top-level function.  The group has the *full* shard
     layout; the parent only ever sends keys owned by this worker's
     shards, so every other shard stays pristine (the precondition for
-    the drain merge's identity fast path).  ``crash_after_chunks`` is
+    the drain merge's identity fast path).  ``backend_name`` is the
+    parent's active kernel backend — spawn children re-import from
+    scratch, so the selection must travel explicitly for the whole
+    fleet to compute on the same backend.  ``crash_after_chunks`` is
     the fault hook: die hard (``os._exit``) while holding an unprocessed
     chunk — modelling a mid-stream ``kill -9``.
     """
+    set_backend(backend_name)
     ring = ChunkRing.from_handle(handle)
     registry = install_registry(MetricsRegistry())
     group = ShardedASketch(**group_params)
@@ -561,6 +567,7 @@ class ParallelIngestRuntime:
                             self.group_params,
                             child_conn,
                             self.sync_every,
+                            active_backend().name,
                             self.inject_crash.get(index),
                         ),
                         daemon=True,
@@ -780,6 +787,8 @@ class ParallelIngestRuntime:
             **self.group_params,
         )
         registry = current_registry()
+        if registry is not None:
+            stamp_backend(registry)
         start = time.perf_counter()
         chunks_since_checkpoint = 0
         try:

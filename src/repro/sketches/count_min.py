@@ -18,9 +18,18 @@ import numpy as np
 from repro.errors import ConfigurationError, NegativeCountError
 from repro.hardware.costs import OpCounters
 from repro.hashing import make_hash_family
-from repro.hashing.families import encode_key_array, key_to_int
+from repro.hashing.families import (
+    CarterWegmanHash,
+    encode_key_array,
+    key_to_int,
+)
+from repro.kernels import active_backend
 from repro.sketches.base import CELL_BYTES, FrequencySketch, row_width_for_bytes
 from repro.synopses.protocol import SynopsisState
+
+#: Encoded keys must stay below this for the fused int64 hash kernels
+#: (see :func:`repro.hashing.families.cw_fold_columns`).
+_KERNEL_KEY_LIMIT = 1 << 31
 
 
 class CountMinSketch(FrequencySketch):
@@ -77,6 +86,20 @@ class CountMinSketch(FrequencySketch):
             make_hash_family(hash_family, self.row_width, seed * 1_000_003 + row)
             for row in range(self.num_hashes)
         ]
+        # Pre-split Carter-Wegman parameters for the fused hash kernels:
+        # per-row (a_hi, a_lo, b mod p) arrays, or None when another hash
+        # family is in use (kernel dispatch then falls back to the
+        # per-row hash_array path).
+        self._cw_params: tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        if all(isinstance(h, CarterWegmanHash) for h in self._hashes):
+            params = [h.kernel_params for h in self._hashes]
+            self._cw_params = (
+                np.array([p[0] for p in params], dtype=np.int64),
+                np.array([p[1] for p in params], dtype=np.int64),
+                np.array([p[2] for p in params], dtype=np.int64),
+            )
+        else:
+            self._cw_params = None
         self.ops = OpCounters()
 
     # -- sizing -----------------------------------------------------------
@@ -185,9 +208,16 @@ class CountMinSketch(FrequencySketch):
         encoded = encode_key_array(keys)
         self.ops.hash_evals += self.num_hashes * len(keys)
         self.ops.sketch_cell_writes += self.num_hashes * len(keys)
-        for row, family in enumerate(self._hashes):
-            columns = family.hash_array(encoded)
-            np.add.at(self._table[row], columns, amounts)
+        if self._kernel_ready(encoded):
+            assert self._cw_params is not None
+            a_hi, a_lo, b_mod = self._cw_params
+            active_backend().cm_update_weighted(
+                self._table, a_hi, a_lo, b_mod, encoded, amounts
+            )
+        else:
+            for row, family in enumerate(self._hashes):
+                columns = family.hash_array(encoded)
+                np.add.at(self._table[row], columns, amounts)
         if amounts.size and int(amounts.min()) < 0 and (self._table < 0).any():
             raise NegativeCountError(
                 "batch negative update drove a Count-Min cell below zero"
@@ -212,11 +242,32 @@ class CountMinSketch(FrequencySketch):
         encoded = encode_key_array(keys)
         self.ops.hash_evals += self.num_hashes * len(keys)
         self.ops.sketch_cell_reads += self.num_hashes * len(keys)
+        if self._kernel_ready(encoded):
+            assert self._cw_params is not None
+            a_hi, a_lo, b_mod = self._cw_params
+            estimates = active_backend().cm_estimate(
+                self._table, a_hi, a_lo, b_mod, encoded
+            )
+            return [int(v) for v in estimates]
         estimates = np.full(len(keys), np.iinfo(np.int64).max, dtype=np.int64)
         for row, family in enumerate(self._hashes):
             columns = family.hash_array(encoded)
             np.minimum(estimates, self._table[row, columns], out=estimates)
         return [int(v) for v in estimates]
+
+    def _kernel_ready(self, encoded: np.ndarray) -> bool:
+        """Whether the fused hash kernels can serve this encoded batch.
+
+        Requires Carter-Wegman rows (pre-split parameters exist) and
+        every encoded key below ``2**31`` — the overflow bound of the
+        int64 Mersenne folding.  Anything else takes the per-row
+        ``hash_array`` path, which handles huge keys exactly.
+        """
+        return (
+            self._cw_params is not None
+            and encoded.size > 0
+            and int(encoded.max()) < _KERNEL_KEY_LIMIT
+        )
 
     def total_count(self) -> int:
         """Aggregate count ``N`` absorbed by the sketch (row 0 sum)."""

@@ -1,0 +1,126 @@
+"""End-to-end backend equivalence: whole pipelines are bit-identical.
+
+The kernel layer's contract is not "about the same" — it is exact: an
+ASketch ingest run under any backend must leave the identical filter
+entries, sketch cells, mass bookkeeping, and answers as under any other
+backend.  These tests drive full pipelines (ASketch over every filter
+kind, weighted sketch updates, and the multiprocess runtime) under each
+backend pair and compare complete states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.kernels import available_backends, use_backend
+from repro.runtime.engine import StreamEngine
+from repro.runtime.parallel import parallel_ingest
+from repro.runtime.sharding import ShardedASketch
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.zipf import zipf_stream
+
+FILTER_KINDS = ["vector", "strict-heap", "relaxed-heap", "stream-summary"]
+BACKEND_NAMES = [
+    name for name in ("python", "numpy", "numba") if name in available_backends()
+]
+PAIRS = [
+    (left, BACKEND_NAMES[j])
+    for i, left in enumerate(BACKEND_NAMES)
+    for j in range(i + 1, len(BACKEND_NAMES))
+]
+
+
+def build(seed: int, kind: str) -> ASketch:
+    sketch = CountMinSketch(num_hashes=3, row_width=23, seed=seed)
+    return ASketch(sketch=sketch, filter_items=8, filter_kind=kind)
+
+
+def full_state(asketch: ASketch):
+    return (
+        {
+            entry.key: (entry.new_count, entry.old_count)
+            for entry in asketch.filter.entries()
+        },
+        asketch.sketch.table.tolist(),
+        asketch.total_mass,
+        asketch.overflow_mass,
+        asketch.miss_events,
+        asketch.exchange_count,
+    )
+
+
+def ingest(backend_name: str, kind: str, keys: np.ndarray, chunk: int):
+    with use_backend(backend_name):
+        asketch = build(seed=17, kind=kind)
+        for start in range(0, keys.shape[0], chunk):
+            asketch.process_batch(keys[start : start + chunk])
+        probes = sorted(set(keys.tolist())) + [10**6]
+        return full_state(asketch), asketch.query_batch(probes)
+
+
+@pytest.mark.parametrize("left,right", PAIRS, ids=lambda p: str(p))
+class TestBackendPairs:
+    @pytest.mark.parametrize("kind", FILTER_KINDS)
+    def test_asketch_ingest_bit_identical(self, left, right, kind):
+        keys = zipf_stream(6_000, 2_000, 1.3, seed=93).keys
+        state_l, answers_l = ingest(left, kind, keys, chunk=512)
+        state_r, answers_r = ingest(right, kind, keys, chunk=512)
+        assert state_l == state_r
+        assert answers_l == answers_r
+
+    def test_weighted_updates_bit_identical(self, left, right):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 3_000, size=5_000)
+        amounts = rng.integers(1, 20, size=5_000).astype(np.int64)
+        tables = {}
+        estimates = {}
+        for name in (left, right):
+            with use_backend(name):
+                sketch = CountMinSketch(num_hashes=4, row_width=97, seed=29)
+                sketch.update_batch_weighted(keys, amounts)
+                tables[name] = sketch.table.copy()
+                estimates[name] = sketch.estimate_batch(keys[:500])
+        assert np.array_equal(tables[left], tables[right])
+        assert np.array_equal(
+            np.asarray(estimates[left]), np.asarray(estimates[right])
+        )
+
+    def test_sharded_engine_bit_identical(self, left, right):
+        keys = zipf_stream(8_000, 3_000, 1.4, seed=61).keys
+        chunks = [keys[i : i + 1_000] for i in range(0, keys.shape[0], 1_000)]
+        states = {}
+        for name in (left, right):
+            with use_backend(name):
+                group = ShardedASketch(
+                    3, total_bytes=32 * 1024, filter_items=16, seed=31
+                )
+                StreamEngine(group, batched=True).run(iter(chunks))
+                states[name] = group.state()
+        assert states[left].equals(states[right])
+
+
+@pytest.mark.skipif(
+    "python" not in available_backends(), reason="python backend unavailable"
+)
+def test_parallel_workers_inherit_parent_backend():
+    """Workers spawned under a non-default backend must reproduce the
+    sequential numpy result exactly — proving both the backend hand-off
+    to child processes and cross-backend identity in one go."""
+    stream = zipf_stream(12_000, 4_000, 1.5, seed=171)
+    chunks = [
+        stream.keys[i : i + 2_000] for i in range(0, len(stream), 2_000)
+    ]
+    group_params = {"total_bytes": 32 * 1024, "filter_items": 16, "seed": 31}
+
+    with use_backend("numpy"):
+        sequential = ShardedASketch(2, **group_params)
+        StreamEngine(sequential, batched=True).run(iter(chunks))
+
+    with use_backend("python"):
+        supervisor, stats = parallel_ingest(
+            iter(chunks), 2, shards=2, **group_params
+        )
+    assert stats.tuples_ingested == len(stream)
+    assert supervisor.group.state().equals(sequential.state())

@@ -1,0 +1,119 @@
+"""Backend registry: selection, env resolution, fallback, stamping."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.kernels as kernels
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    active_backend,
+    available_backends,
+    backend_fallback_reason,
+    reset_backend,
+    set_backend,
+    stamp_backend,
+    use_backend,
+)
+from repro.obs import MetricsRegistry
+
+NUMBA_PRESENT = "numba" in available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _restore_selection():
+    """Every test leaves the process-global selection as it found it."""
+    previous = kernels._active
+    previous_reason = kernels._fallback_reason
+    yield
+    kernels._active = previous
+    kernels._fallback_reason = previous_reason
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        reset_backend()
+        assert active_backend().name == DEFAULT_BACKEND == "numpy"
+
+    def test_available_always_has_reference_backends(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "python" in names
+        assert names == sorted(names)
+
+    def test_set_backend_python(self):
+        backend = set_backend("python")
+        assert backend.name == "python"
+        assert active_backend() is backend
+        assert backend_fallback_reason() is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            set_backend("cuda")
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        reset_backend()
+        assert active_backend().name == "python"
+
+    def test_env_var_empty_means_default(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "")
+        reset_backend()
+        assert active_backend().name == DEFAULT_BACKEND
+
+    def test_use_backend_restores_previous(self):
+        set_backend("numpy")
+        with use_backend("python") as backend:
+            assert backend.name == "python"
+            assert active_backend() is backend
+        assert active_backend().name == "numpy"
+
+    def test_backends_are_cached(self):
+        first = set_backend("python")
+        second = set_backend("python")
+        assert first is second
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="needs an environment WITHOUT numba")
+class TestNumbaAbsentFallback:
+    def test_requesting_numba_falls_back_to_numpy_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            backend = set_backend("numba")
+        assert backend.name == "numpy"
+        assert active_backend().name == "numpy"
+        reason = backend_fallback_reason()
+        assert reason is not None and "numba" in reason
+
+    def test_fallback_raises_warning_metric(self):
+        with pytest.warns(RuntimeWarning):
+            set_backend("numba")
+        registry = MetricsRegistry()
+        stamp_backend(registry)
+        assert registry.value("kernels_backend_fallback") == 1.0
+        assert registry.value("kernels_backend_info", backend="numpy") == 1.0
+
+    def test_numba_not_listed_available(self):
+        assert "numba" not in available_backends()
+
+
+@pytest.mark.skipif(not NUMBA_PRESENT, reason="needs numba installed")
+class TestNumbaPresent:
+    def test_numba_selects_cleanly(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = set_backend("numba")
+        assert backend.name == "numba"
+        assert backend.accelerated
+        assert backend_fallback_reason() is None
+
+
+class TestStamping:
+    def test_stamp_records_active_backend(self):
+        set_backend("python")
+        registry = MetricsRegistry()
+        stamp_backend(registry)
+        assert registry.value("kernels_backend_info", backend="python") == 1.0
+        assert registry.value("kernels_backend_fallback") == 0.0

@@ -1,0 +1,146 @@
+"""Raw kernel parity: every backend answers every operation identically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.families import (
+    CarterWegmanHash,
+    cw_fold_columns,
+    encode_key_array,
+)
+from repro.kernels import available_backends
+from repro.kernels._backends import NumpyBackend, PythonBackend
+
+BACKENDS = [PythonBackend(), NumpyBackend()]
+if "numba" in available_backends():
+    from repro.kernels._backends import NumbaBackend
+
+    BACKENDS.append(NumbaBackend())
+
+BACKEND_IDS = [backend.name for backend in BACKENDS]
+
+
+@pytest.fixture(params=BACKENDS, ids=BACKEND_IDS)
+def backend(request):
+    return request.param
+
+
+def _reference_backend():
+    return BACKENDS[1]  # numpy
+
+
+class TestMembershipProbe:
+    def test_hits_misses_and_empty_slots(self, backend):
+        # Slots hold key + 1; zeros are empty.
+        ids = np.array([6, 0, 3, 12, 0, 1], dtype=np.int64)
+        keys = np.array([5, 2, 11, 0, 7, 5], dtype=np.int64)
+        slots = backend.membership_probe(ids, keys)
+        assert slots.tolist() == [0, 2, 3, 5, -1, 0]
+
+    def test_negative_key_never_matches_empty_slot(self, backend):
+        # key -1 encodes to target 0, the empty-slot marker; it must
+        # miss, not "find" the first hole.
+        ids = np.array([0, 4, 0], dtype=np.int64)
+        slots = backend.membership_probe(
+            ids, np.array([-1, 3, -5], dtype=np.int64)
+        )
+        assert slots.tolist() == [-1, 1, -1]
+
+    def test_all_empty_filter(self, backend):
+        ids = np.zeros(8, dtype=np.int64)
+        slots = backend.membership_probe(
+            ids, np.array([0, 1, 2], dtype=np.int64)
+        )
+        assert slots.tolist() == [-1, -1, -1]
+
+    def test_empty_key_batch(self, backend):
+        ids = np.array([5, 3], dtype=np.int64)
+        slots = backend.membership_probe(ids, np.empty(0, dtype=np.int64))
+        assert slots.shape == (0,)
+
+    def test_random_batches_match_reference(self, backend):
+        rng = np.random.default_rng(11)
+        reference = _reference_backend()
+        for _ in range(5):
+            capacity = int(rng.integers(1, 64))
+            monitored = rng.choice(
+                np.arange(1000), size=capacity, replace=False
+            )
+            ids = np.zeros(capacity, dtype=np.int64)
+            occupancy = int(rng.integers(0, capacity + 1))
+            ids[:occupancy] = monitored[:occupancy] + 1
+            keys = rng.integers(0, 1500, size=200).astype(np.int64)
+            assert np.array_equal(
+                backend.membership_probe(ids, keys),
+                reference.membership_probe(ids, keys),
+            )
+
+
+def _cw_params(num_rows: int, width: int, seed: int):
+    hashes = [CarterWegmanHash(width, seed * 1_000_003 + r) for r in range(num_rows)]
+    params = [h.kernel_params for h in hashes]
+    return hashes, (
+        np.array([p[0] for p in params], dtype=np.int64),
+        np.array([p[1] for p in params], dtype=np.int64),
+        np.array([p[2] for p in params], dtype=np.int64),
+    )
+
+
+class TestCountMinKernels:
+    def test_update_matches_hash_array_scatter(self, backend):
+        rng = np.random.default_rng(3)
+        width, rows = 37, 4
+        hashes, (a_hi, a_lo, b_mod) = _cw_params(rows, width, seed=5)
+        encoded = encode_key_array(rng.integers(0, 500, size=300))
+        amounts = rng.integers(1, 9, size=300).astype(np.int64)
+
+        table = np.zeros((rows, width), dtype=np.int64)
+        backend.cm_update_weighted(table, a_hi, a_lo, b_mod, encoded, amounts)
+
+        expected = np.zeros((rows, width), dtype=np.int64)
+        for row, family in enumerate(hashes):
+            np.add.at(expected[row], family.hash_array(encoded), amounts)
+        assert np.array_equal(table, expected)
+
+    def test_estimate_matches_hash_array_gather(self, backend):
+        rng = np.random.default_rng(4)
+        width, rows = 29, 3
+        hashes, (a_hi, a_lo, b_mod) = _cw_params(rows, width, seed=9)
+        table = rng.integers(0, 1000, size=(rows, width)).astype(np.int64)
+        encoded = encode_key_array(rng.integers(0, 500, size=100))
+
+        estimates = backend.cm_estimate(table, a_hi, a_lo, b_mod, encoded)
+
+        expected = np.full(encoded.shape[0], np.iinfo(np.int64).max)
+        for row, family in enumerate(hashes):
+            columns = family.hash_array(encoded)
+            np.minimum(expected, table[row, columns], out=expected)
+        assert np.array_equal(estimates, expected)
+
+    def test_fold_matches_scalar_hash(self):
+        # The shared folding equals the scalar ((a*x + b) % p) % h for
+        # every backend-eligible key — the identity the int64 Mersenne
+        # reduction argument rests on.
+        family = CarterWegmanHash(101, seed=42)
+        a_hi, a_lo, b_mod = family.kernel_params
+        keys = np.array(
+            [0, 1, 2, (1 << 31) - 1, 12345, 999_999_999], dtype=np.int64
+        )
+        folded = cw_fold_columns(a_hi, a_lo, b_mod, keys, 101)
+        assert folded.tolist() == [family(int(k)) for k in keys.tolist()]
+
+
+class TestExchangeCandidates:
+    def test_positions_above_threshold(self, backend):
+        estimates = np.array([5, 1, 9, 3, 9, 2], dtype=np.int64)
+        assert backend.exchange_candidates(estimates, 3).tolist() == [0, 2, 4]
+        assert backend.exchange_candidates(estimates, 9).tolist() == []
+        assert backend.exchange_candidates(estimates, 0).tolist() == [
+            0, 1, 2, 3, 4, 5,
+        ]
+
+    def test_empty(self, backend):
+        out = backend.exchange_candidates(np.empty(0, dtype=np.int64), 5)
+        assert out.shape == (0,)

@@ -1,0 +1,123 @@
+"""Property-based tests: kernel backends are bit-identical everywhere.
+
+Random streams, filter kinds, sketch geometries, and weighted updates
+must produce the exact same end state no matter which compute backend
+executed the inner loops.  The python backend interprets the very loop
+bodies the numba backend compiles, so passing against numpy here covers
+the compiled leg's semantics too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asketch import ASketch
+from repro.kernels import available_backends, use_backend
+from repro.sketches.count_min import CountMinSketch
+
+BACKEND_NAMES = [
+    name for name in ("python", "numpy", "numba") if name in available_backends()
+]
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=120), min_size=1, max_size=300
+)
+filter_kinds = st.sampled_from(
+    ["vector", "strict-heap", "relaxed-heap", "stream-summary"]
+)
+seeds = st.integers(min_value=0, max_value=30)
+chunk_sizes = st.integers(min_value=1, max_value=64)
+widths = st.integers(min_value=4, max_value=64)
+depths = st.integers(min_value=1, max_value=6)
+
+
+def build(seed: int, kind: str, filter_items: int = 4) -> ASketch:
+    sketch = CountMinSketch(num_hashes=3, row_width=19, seed=seed)
+    return ASketch(sketch=sketch, filter_items=filter_items, filter_kind=kind)
+
+
+def full_state(asketch: ASketch):
+    return (
+        {
+            entry.key: (entry.new_count, entry.old_count)
+            for entry in asketch.filter.entries()
+        },
+        asketch.sketch.table.tolist(),
+        asketch.total_mass,
+        asketch.overflow_mass,
+        asketch.miss_events,
+        asketch.exchange_count,
+    )
+
+
+class TestBackendIdentity:
+    @given(keys=keys_strategy, kind=filter_kinds, seed=seeds,
+           chunk_size=chunk_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_ingest_state_identical_across_backends(
+        self, keys, kind, seed, chunk_size
+    ):
+        """Exchange-heavy random streams (tiny filter, many distinct
+        keys) leave the identical ASketch state under every backend."""
+        stream = np.array(keys, dtype=np.int64)
+        states = []
+        for name in BACKEND_NAMES:
+            with use_backend(name):
+                asketch = build(seed, kind)
+                for start in range(0, stream.shape[0], chunk_size):
+                    asketch.process_batch(stream[start : start + chunk_size])
+                states.append(full_state(asketch))
+        first = states[0]
+        assert all(state == first for state in states[1:])
+
+    @given(
+        keys=keys_strategy,
+        seed=seeds,
+        width=widths,
+        depth=depths,
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_sketch_updates_identical(
+        self, keys, seed, width, depth, data
+    ):
+        """Fused hash+scatter and hash+gather agree across backends for
+        arbitrary sketch geometries and weighted batches."""
+        amounts = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=50),
+                    min_size=len(keys),
+                    max_size=len(keys),
+                )
+            ),
+            dtype=np.int64,
+        )
+        stream = np.array(keys, dtype=np.int64)
+        tables = []
+        estimates = []
+        for name in BACKEND_NAMES:
+            with use_backend(name):
+                sketch = CountMinSketch(
+                    num_hashes=depth, row_width=width, seed=seed
+                )
+                sketch.update_batch_weighted(stream, amounts)
+                tables.append(sketch.table.copy())
+                estimates.append(list(sketch.estimate_batch(stream)))
+        assert all(np.array_equal(tables[0], t) for t in tables[1:])
+        assert all(estimates[0] == e for e in estimates[1:])
+
+    @given(keys=keys_strategy, kind=filter_kinds, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_queries_identical_across_backends(self, keys, kind, seed):
+        stream = np.array(keys, dtype=np.int64)
+        probes = sorted(set(keys)) + [999]
+        answers = []
+        for name in BACKEND_NAMES:
+            with use_backend(name):
+                asketch = build(seed, kind)
+                asketch.process_batch(stream)
+                answers.append(asketch.query_batch(probes))
+        assert all(answers[0] == a for a in answers[1:])

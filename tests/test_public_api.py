@@ -29,6 +29,7 @@ class TestAllExports:
             "repro.counters",
             "repro.hardware",
             "repro.hashing",
+            "repro.kernels",
             "repro.metrics",
             "repro.obs",
             "repro.runtime",
