@@ -33,6 +33,9 @@ from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT))
+
+from benchmarks.bench_adaptive_drift import run_drift_benchmark  # noqa: E402
 
 from repro.kernels import (  # noqa: E402
     active_backend,
@@ -179,6 +182,65 @@ def _parallel_bench(keys, chunk_size: int, workers: int) -> dict:
     }
 
 
+#: The back stages the accuracy-vs-space section compares, at equal
+#: shipped bytes (SF's fat helper is working memory, not shipped state).
+_ACCURACY_METHODS = ("count-min", "asketch", "sf-sketch", "salsa-cm")
+
+
+def _accuracy_spec(method: str, total_bytes: int) -> SynopsisSpec:
+    if method == "asketch":
+        return SynopsisSpec(
+            "asketch",
+            {"total_bytes": total_bytes, "filter_items": 32, "seed": 67},
+        )
+    return SynopsisSpec(
+        method, {"num_hashes": 8, "total_bytes": total_bytes, "seed": 67}
+    )
+
+
+def _accuracy_vs_space(tiny: bool) -> dict:
+    """Mean one-sided over-error per method at equal synopsis bytes.
+
+    The staged-synopsis comparison the back-stage registry exists for:
+    ASketch, SF-sketch and SALSA against the plain Count-Min baseline,
+    every method answering from the same byte budget.  Lower is better;
+    all four are one-sided, so the error is ``estimate - true >= 0``.
+    """
+    import numpy as np
+
+    items = 60_000 if tiny else 200_000
+    domain = items // 4
+    stream = zipf_stream(items, domain, 1.3, seed=67)
+    uniq, counts = np.unique(stream.keys, return_counts=True)
+    budgets = (16 * 1024,) if tiny else (16 * 1024, 64 * 1024)
+    section: dict = {
+        "items": items,
+        "domain": domain,
+        "skew": 1.3,
+        "budgets": {},
+    }
+    for total_bytes in budgets:
+        row = {}
+        for method in _ACCURACY_METHODS:
+            synopsis = build_synopsis(_accuracy_spec(method, total_bytes))
+            if hasattr(synopsis, "process_batch"):
+                synopsis.process_batch(stream.keys)
+            else:
+                synopsis.process_stream(stream.keys)
+            estimates = np.asarray(
+                synopsis.estimate_batch(uniq), dtype=np.int64
+            )
+            over = estimates - counts
+            row[method] = {
+                "bytes": int(synopsis.size_bytes),
+                "mean_over_error": round(float(over.mean()), 4),
+                "p99_over_error": round(float(np.quantile(over, 0.99)), 2),
+                "one_sided_violations": int((over < 0).sum()),
+            }
+        section["budgets"][str(total_bytes)] = row
+    return section
+
+
 def record(tiny: bool) -> dict:
     """Run every bench and return the trajectory document."""
     items = 60_000 if tiny else 400_000
@@ -248,6 +310,11 @@ def record(tiny: bool) -> dict:
         "tiny": tiny,
         "cpu_count": _cpu_count(),
         "benches": benches,
+        # Quality sections (not throughput): the perf gate only compares
+        # "benches", so these record accuracy/adaptivity trajectories
+        # without tripping throughput regression checks.
+        "accuracy_vs_space": _accuracy_vs_space(tiny),
+        "adaptive_drift": run_drift_benchmark(tiny),
     }
 
 

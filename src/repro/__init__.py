@@ -27,6 +27,7 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro.core.asketch import ASketch
 from repro.core.kernel_group import KernelGroup
+from repro.core.staged import ClassicExchange, ExchangePolicy, StagedSynopsis
 from repro.core.window import SlidingWindowASketch
 from repro.core.filters import (
     RelaxedHeapFilter,
@@ -56,6 +57,7 @@ from repro.kernels import (
     use_backend,
 )
 from repro.runtime import (
+    AdaptiveController,
     CheckpointStore,
     ChunkRing,
     FaultPlan,
@@ -108,6 +110,8 @@ from repro.sketches import (
     FrequencyAwareCountMin,
     HierarchicalCountMin,
     HolisticUDAF,
+    SalsaCountMin,
+    SFSketch,
 )
 from repro.streams import (
     Stream,
@@ -121,13 +125,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ASketch",
+    "AdaptiveController",
     "CheckpointStore",
     "ChunkRing",
+    "ClassicExchange",
     "CostModel",
     "CountMinSketch",
     "CountSketch",
     "EventDrivenPipeline",
     "ExactCounter",
+    "ExchangePolicy",
     "FaultPlan",
     "FrequencyAwareCountMin",
     "HierarchicalCountMin",
@@ -144,11 +151,14 @@ __all__ = [
     "ResilientEngine",
     "RetryPolicy",
     "RetryingSource",
+    "SFSketch",
+    "SalsaCountMin",
     "ShardSupervisor",
     "ShardedASketch",
     "SlidingWindowASketch",
     "SpaceSaving",
     "SpmdModel",
+    "StagedSynopsis",
     "Stream",
     "StreamEngine",
     "StreamSummary",

@@ -20,6 +20,12 @@ import numpy as np
 
 from repro.core.asketch import ASketch
 from repro.errors import ConfigurationError
+from repro.synopses.protocol import (
+    SynopsisState,
+    pack_nested,
+    prefix_arrays,
+    unpack_nested,
+)
 
 
 class SlidingWindowASketch:
@@ -90,6 +96,22 @@ class SlidingWindowASketch:
         for key in keys.tolist():
             process(key)
 
+    def update(self, key: int, amount: int = 1) -> int:
+        """Admit ``amount`` arrivals of ``key`` (synopsis protocol entry).
+
+        A sliding window counts *arrivals*, so a weighted update is
+        ``amount`` consecutive admissions — each may evict an expired
+        tuple.  Returns the post-update window estimate.
+        """
+        if amount < 1:
+            raise ConfigurationError(
+                f"a sliding window admits arrivals one at a time; "
+                f"amount must be >= 1, got {amount}"
+            )
+        for _ in range(int(amount)):
+            self.process(key)
+        return self.query(key)
+
     # -- queries ----------------------------------------------------------
 
     def query(self, key: int) -> int:
@@ -114,4 +136,61 @@ class SlidingWindowASketch:
             return self._ring[: self._count].copy()
         return np.concatenate(
             [self._ring[self._position :], self._ring[: self._position]]
+        )
+
+    # -- synopsis protocol -------------------------------------------------
+
+    SYNOPSIS_KIND = "sliding-window-asketch"
+
+    @property
+    def size_bytes(self) -> int:
+        """Synopsis + window buffer footprint (the ring is O(window))."""
+        return self._asketch.size_bytes + self._ring.nbytes
+
+    def state(self) -> SynopsisState:
+        """Ring buffer, cursor, and the nested inner-ASketch state."""
+        inner = self._asketch.state()
+        arrays = {"ring": self._ring.copy()}
+        arrays.update(prefix_arrays("asketch", inner.arrays))
+        return SynopsisState(
+            kind=self.SYNOPSIS_KIND,
+            params={"window_size": self.window_size},
+            arrays=arrays,
+            extra={
+                "position": self._position,
+                "count": self._count,
+                "asketch": pack_nested(inner),
+            },
+        )
+
+    @classmethod
+    def from_state(cls, state: SynopsisState) -> "SlidingWindowASketch":
+        inner = unpack_nested(
+            state.extra["asketch"], state.arrays, "asketch"
+        )
+        window = cls.__new__(cls)
+        window.window_size = int(state.params["window_size"])
+        window._asketch = ASketch.from_state(inner)
+        window._ring = np.asarray(
+            state.arrays["ring"], dtype=np.int64
+        ).copy()
+        window._position = int(state.extra["position"])
+        window._count = int(state.extra["count"])
+        return window
+
+    def is_mergeable_with(self, other: object) -> bool:
+        """Sliding windows never merge — arrival order is lost."""
+        return False
+
+    def merge(self, other: object) -> None:
+        """Always raises: two windows cannot be combined losslessly.
+
+        The synopsis covers *the most recent* ``window_size`` tuples;
+        merging two windows would need the global interleaving of both
+        streams' arrival times, which neither ring records.
+        """
+        raise ConfigurationError(
+            "sliding-window synopses cannot be merged: the window is "
+            "defined by global arrival order, which a merge cannot "
+            "reconstruct"
         )

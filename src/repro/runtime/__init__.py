@@ -23,6 +23,10 @@ provides that operational shell:
   (graceful shard degradation), and the deterministic
   :class:`~repro.runtime.reliability.FaultPlan` injection harness the
   recovery tests are built on;
+* :class:`~repro.runtime.adaptive.AdaptiveController` — closes the
+  observability loop: watches windowed filter hit-rate / exchange rate
+  / shard skew and re-tunes the staged filter online through
+  ``resize_filter()``;
 * :mod:`~repro.runtime.parallel` — true multicore ingest:
   :class:`~repro.runtime.parallel.ParallelIngestRuntime` runs N worker
   processes over shared-memory chunk rings, each ingesting its shards'
@@ -31,6 +35,7 @@ provides that operational shell:
   failover reusing the supervisor semantics).
 """
 
+from repro.runtime.adaptive import AdaptiveController
 from repro.runtime.engine import (
     EngineStats,
     StreamEngine,
@@ -59,6 +64,7 @@ from repro.runtime.reliability import (
 from repro.runtime.sharding import ShardedASketch
 
 __all__ = [
+    "AdaptiveController",
     "CheckpointStore",
     "ChunkRing",
     "DeadLetter",

@@ -39,6 +39,11 @@ class ShardedASketch:
         in §6.3's experiments).
     filter_items, filter_kind, num_hashes, seed:
         Forwarded to each shard's ASketch.
+    sketch_backend:
+        Back-stage sketch for every shard (any backend
+        :class:`~repro.core.asketch.ASketch` accepts — ``"count-min"``
+        default, ``"fcm"``, ``"count-sketch"``, ``"sf-sketch"``,
+        ``"salsa-cm"``).
     """
 
     def __init__(
@@ -49,6 +54,7 @@ class ShardedASketch:
         filter_kind: str = "relaxed-heap",
         num_hashes: int = 8,
         seed: int = 0,
+        sketch_backend: str = "count-min",
     ) -> None:
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -57,6 +63,7 @@ class ShardedASketch:
         self.filter_kind = filter_kind
         self.num_hashes = int(num_hashes)
         self.seed = int(seed)
+        self.sketch_backend = sketch_backend
         self._router = make_hash_family("carter-wegman", shards, seed + 999)
         # Every shard shares one sketch seed: key ownership is exclusive,
         # so shards never alias each other's keys into shared cells, and
@@ -69,6 +76,7 @@ class ShardedASketch:
                 filter_kind=filter_kind,
                 num_hashes=num_hashes,
                 seed=seed * 6151,
+                sketch_backend=sketch_backend,
             )
             for _ in range(shards)
         ]
@@ -284,6 +292,7 @@ class ShardedASketch:
                 "filter_kind": self.filter_kind,
                 "num_hashes": self.num_hashes,
                 "seed": self.seed,
+                "sketch_backend": self.sketch_backend,
             },
             arrays=arrays,
             extra={"shards": shard_metadata},

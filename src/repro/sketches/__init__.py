@@ -1,4 +1,5 @@
-"""Sketch synopses: Count-Min, Count Sketch, FCM, Holistic UDAFs.
+"""Sketch synopses: Count-Min, Count Sketch, FCM, Holistic UDAFs,
+SF-sketch (slim/fat), SALSA (self-adjusting counters).
 
 All sketches implement the :class:`~repro.sketches.base.FrequencySketch`
 interface (point updates returning the post-update estimate, point queries,
@@ -14,6 +15,8 @@ from repro.sketches.count_sketch import CountSketch
 from repro.sketches.fcm import FrequencyAwareCountMin
 from repro.sketches.hierarchical import HierarchicalCountMin
 from repro.sketches.holistic_udaf import HolisticUDAF
+from repro.sketches.salsa import SalsaCountMin
+from repro.sketches.sf_sketch import SFSketch
 
 __all__ = [
     "CountMinSketch",
@@ -22,5 +25,7 @@ __all__ = [
     "FrequencySketch",
     "HierarchicalCountMin",
     "HolisticUDAF",
+    "SFSketch",
+    "SalsaCountMin",
     "row_width_for_bytes",
 ]

@@ -8,8 +8,10 @@ here over randomly generated streams and split points:
 * **commutativity** — ``a.merge(b)`` and ``b.merge(a)`` answer queries
   identically;
 * **guarantee preservation** — one-sided structures (Count-Min,
-  ASketch, Space Saving's min mode) stay one-sided after a merge, and
-  Misra-Gries stays a valid undercount within its decrement budget.
+  ASketch, SF-sketch, SALSA, Space Saving's min mode) stay one-sided
+  after a merge, and Misra-Gries stays a valid undercount within its
+  decrement budget — and adaptive filter resizes mid-stream never break
+  the one-sided guarantee either.
 """
 
 from __future__ import annotations
@@ -23,9 +25,12 @@ from hypothesis import strategies as st
 from repro.core.asketch import ASketch
 from repro.counters.misra_gries import MisraGries
 from repro.counters.space_saving import SpaceSaving
+from repro.runtime.adaptive import AdaptiveController
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.hierarchical import HierarchicalCountMin
+from repro.sketches.salsa import SalsaCountMin
+from repro.sketches.sf_sketch import SFSketch
 
 keys_strategy = st.lists(
     st.integers(min_value=0, max_value=500), min_size=2, max_size=300
@@ -102,6 +107,43 @@ class TestCommutativity:
         np.testing.assert_array_equal(ab.table, ba.table)
 
     @given(keys=keys_strategy, seed=seeds, split=splits)
+    @settings(max_examples=25, deadline=None)
+    def test_sf_sketch_merge_commutes(self, keys, seed, split):
+        """SF merges cell-wise in both stages, so direction is moot."""
+        first, second = _halves(keys, split)
+        build = lambda: SFSketch(  # noqa: E731
+            num_hashes=3, row_width=37, fat_ratio=2, seed=seed
+        )
+        ab, ba = build(), build()
+        other_ab, other_ba = build(), build()
+        ab.update_batch(first)
+        other_ab.update_batch(second)
+        ba.update_batch(second)
+        other_ba.update_batch(first)
+        ab.merge(other_ab)
+        ba.merge(other_ba)
+        assert ab.state().equals(ba.state())
+
+    @given(keys=keys_strategy, seed=seeds, split=splits)
+    @settings(max_examples=25, deadline=None)
+    def test_salsa_merge_commutes(self, keys, seed, split):
+        """Partition join + summed sub-segments is order-independent."""
+        first, second = _halves(keys, split)
+        build = lambda: SalsaCountMin(  # noqa: E731
+            num_hashes=3, num_slots=64, seed=seed
+        )
+        ab, ba = build(), build()
+        other_ab, other_ba = build(), build()
+        ab.update_batch(first)
+        other_ab.update_batch(second)
+        ba.update_batch(second)
+        other_ba.update_batch(first)
+        ab.merge(other_ab)
+        ba.merge(other_ba)
+        np.testing.assert_array_equal(ab._values, ba._values)
+        np.testing.assert_array_equal(ab._seg_log, ba._seg_log)
+
+    @given(keys=keys_strategy, seed=seeds, split=splits)
     @settings(max_examples=15, deadline=None)
     def test_asketch_merge_estimates_commute(self, keys, seed, split):
         """Merged estimates agree regardless of merge direction.
@@ -160,6 +202,32 @@ class TestGuaranteePreservation:
             if guaranteed is not None:
                 assert guaranteed <= truth[key]
 
+    @given(keys=keys_strategy, seed=seeds, split=splits)
+    @settings(max_examples=25, deadline=None)
+    def test_sf_sketch_one_sided_after_merge(self, keys, seed, split):
+        first, second = _halves(keys, split)
+        left = SFSketch(num_hashes=3, row_width=37, fat_ratio=2, seed=seed)
+        right = SFSketch(num_hashes=3, row_width=37, fat_ratio=2, seed=seed)
+        left.update_batch(first)
+        right.update_batch(second)
+        left.merge(right)
+        truth = Counter(keys)
+        for key, count in truth.items():
+            assert left.estimate(key) >= count
+
+    @given(keys=keys_strategy, seed=seeds, split=splits)
+    @settings(max_examples=25, deadline=None)
+    def test_salsa_one_sided_after_merge(self, keys, seed, split):
+        first, second = _halves(keys, split)
+        left = SalsaCountMin(num_hashes=3, num_slots=64, seed=seed)
+        right = SalsaCountMin(num_hashes=3, num_slots=64, seed=seed)
+        left.update_batch(first)
+        right.update_batch(second)
+        left.merge(right)
+        truth = Counter(keys)
+        for key, count in truth.items():
+            assert left.estimate(key) >= count
+
     @given(keys=keys_strategy, split=splits)
     @settings(max_examples=25, deadline=None)
     def test_misra_gries_undercount_within_budget(self, keys, split):
@@ -175,3 +243,60 @@ class TestGuaranteePreservation:
         for key, count in left.items():
             assert count <= truth[key]
             assert count >= truth[key] - left.total_decrements
+
+
+class TestAdaptationPreservesGuarantees:
+    """Filter resizes mid-stream (the adaptive controller's only
+    mutation) never break the one-sided estimate guarantee, for any
+    interleaving of ingest chunks and grow/shrink steps."""
+
+    @given(
+        keys=keys_strategy,
+        seed=seeds,
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=64), min_size=1, max_size=5
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resize_schedule_stays_one_sided(self, keys, seed, sizes):
+        asketch = ASketch(total_bytes=4 * 1024, filter_items=4, seed=seed)
+        array = np.array(keys, dtype=np.int64)
+        chunks = np.array_split(array, len(sizes))
+        for chunk, new_items in zip(chunks, sizes):
+            if chunk.size:
+                asketch.process_stream(chunk)
+            asketch.resize_filter(new_items)
+        truth = Counter(keys)
+        for key, count in truth.items():
+            assert asketch.query(key) >= count
+        assert asketch.total_mass == len(keys)
+
+    @given(
+        keys=keys_strategy,
+        seed=seeds,
+        drift=st.integers(min_value=1, max_value=1_000_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_controller_driven_adaptation_stays_one_sided(
+        self, keys, seed, drift
+    ):
+        """End-to-end: a rotating stream through the real controller."""
+        asketch = ASketch(total_bytes=4 * 1024, filter_items=4, seed=seed)
+        controller = AdaptiveController(
+            asketch,
+            min_window_items=8,
+            cooldown_windows=0,
+            min_filter_items=2,
+            max_filter_items=64,
+        )
+        array = np.array(keys, dtype=np.int64)
+        rotated = array + drift
+        position = 0
+        for chunk in (array, rotated):
+            for offset in range(0, chunk.shape[0], 32):
+                asketch.process_batch(chunk[offset : offset + 32])
+                position += min(32, chunk.shape[0] - offset)
+                controller(position)
+        truth = Counter(array.tolist()) + Counter(rotated.tolist())
+        for key, count in truth.items():
+            assert asketch.query(int(key)) >= count

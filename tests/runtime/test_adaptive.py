@@ -1,0 +1,190 @@
+"""AdaptiveController: online filter re-tuning from live signals."""
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError
+from repro.obs import install_registry, uninstall_registry
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    RecordingTraceSink,
+    install_tracer,
+    uninstall_tracer,
+)
+from repro.runtime.adaptive import AdaptiveController
+from repro.runtime.engine import StreamEngine
+from repro.runtime.sharding import ShardedASketch
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.zipf import zipf_stream
+
+
+def _drift_keys(phases: int = 2, per_phase: int = 20_000) -> np.ndarray:
+    """Zipf phases whose heavy hitters rotate to a disjoint key range."""
+    chunks = []
+    for phase in range(phases):
+        stream = zipf_stream(per_phase, 4_000, 1.4, seed=50 + phase)
+        chunks.append(stream.keys + phase * 1_000_000)
+    return np.concatenate(chunks)
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        asketch = ASketch(total_bytes=8 * 1024, filter_items=8)
+        for kwargs in (
+            {"target_hit_rate": 0.0},
+            {"target_hit_rate": 1.5},
+            {"grow_factor": 1.0},
+            {"shrink_factor": 0.0},
+            {"shrink_factor": 1.0},
+            {"min_filter_items": 0},
+            {"min_filter_items": 64, "max_filter_items": 8},
+        ):
+            with pytest.raises(ConfigurationError):
+                AdaptiveController(asketch, **kwargs)
+
+    def test_rejects_targets_without_resizable_filter(self):
+        controller = AdaptiveController.__new__(AdaptiveController)
+        controller.synopsis = CountMinSketch(total_bytes=4 * 1024)
+        with pytest.raises(ConfigurationError, match="resizable filter"):
+            controller._targets()
+
+
+class TestDecisions:
+    def test_grows_when_hit_rate_collapses(self):
+        """Rotated heavy hitters tank the hit-rate; the filter grows."""
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8)
+        controller = AdaptiveController(
+            asketch,
+            target_hit_rate=0.7,
+            min_window_items=100,
+            cooldown_windows=0,
+        )
+        keys = _drift_keys()
+        asketch.process_batch(keys[:20_000])
+        controller(20_000)  # warm phase: may hold or not
+        asketch.process_batch(keys[20_000:24_000])  # post-rotation chunk
+        action = controller(24_000)
+        assert action == "grow"
+        assert asketch.filter.capacity > 8
+        assert controller.resize_count >= 1
+
+    def test_shrinks_when_hit_rate_is_near_perfect(self):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=64)
+        controller = AdaptiveController(
+            asketch,
+            shrink_above=0.5,
+            grow_exchange_rate=10.0,
+            target_hit_rate=0.01,
+            min_window_items=100,
+        )
+        # A single hot key: ~every tuple is a filter hit.
+        asketch.process_batch(np.full(5_000, 7, dtype=np.int64))
+        assert controller(5_000) == "shrink"
+        assert asketch.filter.capacity == 32
+
+    def test_small_windows_hold(self):
+        asketch = ASketch(total_bytes=8 * 1024, filter_items=8)
+        controller = AdaptiveController(asketch, min_window_items=10_000)
+        asketch.process_batch(_drift_keys()[:5_000])
+        assert controller() == "hold"
+        assert controller.decisions == []
+
+    def test_cooldown_suppresses_consecutive_resizes(self):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8)
+        controller = AdaptiveController(
+            asketch, min_window_items=100, cooldown_windows=1
+        )
+        keys = _drift_keys()
+        asketch.process_batch(keys[20_000:24_000])
+        assert controller(4_000) == "grow"
+        asketch.process_batch(keys[24_000:28_000])
+        assert controller(8_000) == "hold"  # cooling down
+        asketch.process_batch(keys[28_000:32_000])
+        assert controller(12_000) in ("grow", "hold")
+
+    def test_resize_bounds_respected(self):
+        asketch = ASketch(total_bytes=64 * 1024, filter_items=8)
+        controller = AdaptiveController(
+            asketch,
+            min_window_items=100,
+            max_filter_items=16,
+            target_hit_rate=1.0,
+        )
+        keys = _drift_keys()
+        for stop in range(4_000, 40_001, 4_000):
+            asketch.process_batch(keys[stop - 4_000 : stop])
+            controller(stop)
+        assert asketch.filter.capacity <= 16
+
+
+class TestSignals:
+    def test_registry_counters_drive_decisions(self):
+        registry = MetricsRegistry()
+        install_registry(registry)
+        try:
+            asketch = ASketch(total_bytes=32 * 1024, filter_items=8)
+            controller = AdaptiveController(asketch, min_window_items=100)
+            assert registry.get("asketch_items_total") is None
+            keys = _drift_keys()
+            asketch.process_batch(keys[20_000:24_000])
+            assert registry.value("asketch_items_total") == 4_000
+            assert controller(4_000) == "grow"
+            assert registry.value("adaptive_resizes_total") == 1
+            assert registry.value("adaptive_filter_items") > 8
+        finally:
+            uninstall_registry()
+
+    def test_fallback_signals_without_registry(self):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8)
+        controller = AdaptiveController(asketch, min_window_items=100)
+        asketch.process_batch(_drift_keys()[20_000:24_000])
+        assert controller(4_000) == "grow"
+
+    def test_every_decision_is_traced(self):
+        sink = RecordingTraceSink()
+        install_tracer(sink)
+        try:
+            asketch = ASketch(total_bytes=32 * 1024, filter_items=8)
+            controller = AdaptiveController(asketch, min_window_items=100)
+            asketch.process_batch(_drift_keys()[20_000:24_000])
+            controller(4_000)
+        finally:
+            uninstall_tracer()
+        decisions = [
+            e for e in sink.events if e.name == "adaptive_decision"
+        ]
+        assert len(decisions) == 1
+        attrs = decisions[0].attrs
+        assert attrs["action"] == "grow"
+        assert attrs["window_items"] == 4_000
+        assert attrs["filter_items"] == asketch.filter.capacity
+        # The resize itself also leaves its stage-level trace point.
+        assert any(e.name == "filter_resize" for e in sink.events)
+
+
+class TestShardedTargets:
+    def test_resizes_every_shard(self):
+        group = ShardedASketch(3, 16 * 1024, filter_items=8, seed=2)
+        controller = AdaptiveController(
+            group, target_hit_rate=0.9, min_window_items=100
+        )
+        group.process_stream(_drift_keys()[20_000:24_000])
+        assert controller(4_000) == "grow"
+        assert all(s.filter.capacity > 8 for s in group.shards)
+
+
+class TestEngineIntegration:
+    def test_runs_as_periodic_consumer(self):
+        asketch = ASketch(total_bytes=32 * 1024, filter_items=8)
+        controller = AdaptiveController(asketch, min_window_items=500)
+        engine = StreamEngine(asketch)
+        engine.every(5_000, controller, name="adaptive")
+        keys = _drift_keys()
+        engine.run(keys[i : i + 2_500] for i in range(0, keys.size, 2_500))
+        assert len(controller.decisions) >= 4
+        assert controller.resize_count >= 1
+        # One-sidedness survives every resize the run performed.
+        stream_a = zipf_stream(20_000, 4_000, 1.4, seed=50)
+        for key, count in list(stream_a.exact.items())[:300]:
+            assert asketch.query(int(key)) >= count

@@ -1,0 +1,206 @@
+"""SALSA: buddy counter merging, one-sidedness, protocol, merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError, NegativeCountError
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.salsa import SalsaCountMin, _coarsen
+from repro.streams.zipf import zipf_stream
+
+STREAM = zipf_stream(30_000, 8_000, 1.2, seed=13)
+
+
+def _true_counts():
+    keys, counts = np.unique(STREAM.keys, return_counts=True)
+    return dict(zip(keys.tolist(), counts.tolist()))
+
+
+def _partition_valid(sketch):
+    """Every slot's aligned segment must be uniformly labelled and
+    mirror one value."""
+    for row in range(sketch.num_hashes):
+        slot = 0
+        while slot < sketch.num_slots:
+            head, end, level = sketch._segment(row, slot)
+            assert head == slot, (row, slot, head)
+            assert (sketch._seg_log[row, head:end] == level).all()
+            assert (
+                sketch._values[row, head:end]
+                == sketch._values[row, head]
+            ).all()
+            slot = end
+
+
+class TestConstruction:
+    def test_four_times_the_counters_of_count_min(self):
+        salsa = SalsaCountMin(num_hashes=8, total_bytes=32 * 1024)
+        plain = CountMinSketch(num_hashes=8, total_bytes=32 * 1024)
+        assert salsa.num_slots == 4 * plain.row_width
+        assert salsa.size_bytes == plain.size_bytes
+
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            SalsaCountMin(num_slots=64, total_bytes=1024)
+        with pytest.raises(ConfigurationError):
+            SalsaCountMin(num_hashes=8, total_bytes=8)
+        with pytest.raises(ConfigurationError):
+            SalsaCountMin(num_slots=64, slot_bytes=0)
+
+    def test_capacity_model(self):
+        salsa = SalsaCountMin(num_slots=64, slot_bytes=1)
+        assert salsa._capacity(0) == 255
+        assert salsa._capacity(1) == 65_535
+        assert salsa._capacity(2) == (1 << 32) - 1
+
+
+class TestCounterMerging:
+    def test_overflow_merges_buddies(self):
+        salsa = SalsaCountMin(num_hashes=2, num_slots=8, seed=1)
+        salsa.update(5, 300)  # > 255: every row merges at least once
+        assert salsa.counter_merges >= 2
+        assert salsa.estimate(5) >= 300
+        _partition_valid(salsa)
+
+    def test_cascading_merges(self):
+        salsa = SalsaCountMin(num_hashes=2, num_slots=8, seed=1)
+        salsa.update(5, 100_000)  # needs a 4-slot (32-bit) segment
+        assert salsa.estimate(5) >= 100_000
+        _partition_valid(salsa)
+
+    def test_whole_row_segment_never_overflows_the_store(self):
+        salsa = SalsaCountMin(num_hashes=2, num_slots=4, seed=1)
+        salsa.update(5, 1 << 40)
+        assert salsa.estimate(5) >= 1 << 40
+        _partition_valid(salsa)
+
+    def test_partition_stays_valid_under_stream(self):
+        salsa = SalsaCountMin(num_hashes=4, num_slots=128, seed=3)
+        salsa.process_stream(STREAM.keys[:20_000])
+        _partition_valid(salsa)
+
+
+class TestEstimates:
+    def test_one_sided_over_full_stream(self):
+        salsa = SalsaCountMin(total_bytes=8 * 1024, seed=5)
+        salsa.process_stream(STREAM.keys)
+        for key, count in _true_counts().items():
+            assert salsa.estimate(key) >= count
+
+    def test_more_accurate_than_count_min_at_equal_bytes(self):
+        salsa = SalsaCountMin(total_bytes=8 * 1024, seed=5)
+        plain = CountMinSketch(total_bytes=8 * 1024, seed=5)
+        salsa.process_stream(STREAM.keys)
+        plain.process_stream(STREAM.keys)
+        true = _true_counts()
+        salsa_err = sum(salsa.estimate(k) - c for k, c in true.items())
+        cm_err = sum(plain.estimate(k) - c for k, c in true.items())
+        assert salsa_err < cm_err
+
+    def test_estimate_batch_matches_point_queries(self):
+        salsa = SalsaCountMin(total_bytes=8 * 1024, seed=5)
+        salsa.process_stream(STREAM.keys[:5000])
+        probes = STREAM.keys[:200]
+        assert salsa.estimate_batch(probes) == [
+            salsa.estimate(int(k)) for k in probes
+        ]
+
+    def test_total_count(self):
+        salsa = SalsaCountMin(total_bytes=4 * 1024)
+        salsa.process_stream(STREAM.keys[:1000])
+        assert salsa.total_count() == 1000
+
+    def test_deletions_rejected(self):
+        salsa = SalsaCountMin(total_bytes=4 * 1024)
+        with pytest.raises(NegativeCountError):
+            salsa.update(1, -1)
+
+
+class TestMerge:
+    def _halves(self, seed=5, total_bytes=4 * 1024):
+        half = STREAM.keys.shape[0] // 2
+        a = SalsaCountMin(total_bytes=total_bytes, seed=seed)
+        b = SalsaCountMin(total_bytes=total_bytes, seed=seed)
+        a.process_stream(STREAM.keys[:half])
+        b.process_stream(STREAM.keys[half:])
+        return a, b
+
+    def test_merge_is_one_sided_over_both_streams(self):
+        a, b = self._halves()
+        a.merge(b)
+        _partition_valid(a)
+        for key, count in _true_counts().items():
+            assert a.estimate(key) >= count
+
+    def test_merge_is_commutative(self):
+        a1, b1 = self._halves()
+        a2, b2 = self._halves()
+        a1.merge(b1)
+        b2.merge(a2)
+        keys = np.unique(STREAM.keys)[:500]
+        assert a1.estimate_batch(keys) == b2.estimate_batch(keys)
+        assert (a1._seg_log == b2._seg_log).all()
+        assert (a1._values == b2._values).all()
+
+    def test_merge_requires_matching_geometry(self):
+        a = SalsaCountMin(total_bytes=4 * 1024, seed=5)
+        b = SalsaCountMin(total_bytes=4 * 1024, seed=6)
+        assert not a.is_mergeable_with(b)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+        assert not a.is_mergeable_with(
+            CountMinSketch(total_bytes=4 * 1024, seed=5)
+        )
+
+
+class TestCoarsen:
+    def test_identity_on_valid_partitions(self):
+        levels = np.array([1, 1, 0, 0, 2, 2, 2, 2], dtype=np.int64)
+        assert (_coarsen(levels, 8) == levels).all()
+
+    def test_raises_blocks_to_max(self):
+        levels = np.array([0, 1, 0, 0], dtype=np.int64)
+        out = _coarsen(levels, 4)
+        assert (out[:2] == 1).all()
+        assert (out == np.array([1, 1, 0, 0])).all()
+
+    def test_cascading_alignment(self):
+        levels = np.array([0, 0, 2, 0, 0, 0, 0, 0], dtype=np.int64)
+        out = _coarsen(levels, 8)
+        assert (out[:4] == 2).all()
+
+
+class TestProtocol:
+    def test_state_roundtrip_continues_identically(self):
+        salsa = SalsaCountMin(total_bytes=4 * 1024, seed=5)
+        salsa.process_stream(STREAM.keys[:10_000])
+        restored = SalsaCountMin.from_state(salsa.state())
+        assert restored.state().equals(salsa.state())
+        assert restored.counter_merges == salsa.counter_merges
+        tail = STREAM.keys[10_000:12_000]
+        salsa.process_stream(tail)
+        restored.process_stream(tail)
+        probes = STREAM.keys[:300]
+        assert salsa.estimate_batch(probes) == restored.estimate_batch(probes)
+
+    def test_registered_kind(self):
+        from repro.synopses.spec import SynopsisSpec, build_synopsis
+
+        built = build_synopsis(
+            SynopsisSpec("salsa-cm", {"total_bytes": 4 * 1024})
+        )
+        assert isinstance(built, SalsaCountMin)
+
+
+class TestAsBackStage:
+    def test_asketch_over_salsa(self):
+        asketch = ASketch(
+            sketch=SalsaCountMin(total_bytes=8 * 1024, seed=2),
+            filter_items=16,
+        )
+        asketch.process_batch(STREAM.keys)
+        top_key, top_count = STREAM.true_top_k(1)[0]
+        assert asketch.query(top_key) == top_count
+        for key, count in list(_true_counts().items())[:300]:
+            assert asketch.query(key) >= count

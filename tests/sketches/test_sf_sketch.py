@@ -1,0 +1,140 @@
+"""SF-sketch: slim/fat split, conditional updates, protocol, merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.asketch import ASketch
+from repro.errors import ConfigurationError, NegativeCountError
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.sf_sketch import SFSketch
+from repro.streams.zipf import zipf_stream
+
+STREAM = zipf_stream(30_000, 8_000, 1.2, seed=11)
+
+
+def _true_counts():
+    keys, counts = np.unique(STREAM.keys, return_counts=True)
+    return dict(zip(keys.tolist(), counts.tolist()))
+
+
+class TestConstruction:
+    def test_sizing_reports_slim_bytes_only(self):
+        sketch = SFSketch(num_hashes=4, total_bytes=4 * 1024, fat_ratio=8)
+        assert sketch.size_bytes == 4 * 1024
+        assert sketch.total_memory_bytes == 4 * 1024 * 9
+
+    def test_fat_stage_is_wider(self):
+        sketch = SFSketch(num_hashes=4, row_width=64, fat_ratio=8)
+        assert sketch.fat.row_width == 64 * 8
+        assert sketch.slim.row_width == 64
+
+    def test_fat_ratio_validated(self):
+        with pytest.raises(ConfigurationError):
+            SFSketch(total_bytes=1024, fat_ratio=0)
+
+    def test_stage_hash_families_differ(self):
+        sketch = SFSketch(num_hashes=4, row_width=64, fat_ratio=1)
+        assert sketch.slim.hash_columns(42) != sketch.fat.hash_columns(42)
+
+
+class TestEstimates:
+    def test_one_sided_over_full_stream(self):
+        sketch = SFSketch(total_bytes=8 * 1024, seed=5)
+        sketch.process_stream(STREAM.keys)
+        for key, count in _true_counts().items():
+            assert sketch.estimate(key) >= count
+
+    def test_slim_beats_plain_count_min_at_equal_bytes(self):
+        """The point of SF: the shipped table is more accurate than a
+        plain Count-Min of the same size."""
+        sketch = SFSketch(total_bytes=8 * 1024, seed=5)
+        plain = CountMinSketch(total_bytes=8 * 1024, seed=5)
+        sketch.process_stream(STREAM.keys)
+        plain.process_stream(STREAM.keys)
+        true = _true_counts()
+        sf_err = sum(sketch.estimate(k) - c for k, c in true.items())
+        cm_err = sum(plain.estimate(k) - c for k, c in true.items())
+        assert sf_err < cm_err / 2
+
+    def test_update_returns_slim_estimate(self):
+        sketch = SFSketch(total_bytes=4 * 1024)
+        estimate = sketch.update(7, 3)
+        assert estimate >= 3
+        assert sketch.estimate(7) == estimate
+
+    def test_estimate_batch_matches_point_queries(self):
+        sketch = SFSketch(total_bytes=8 * 1024, seed=5)
+        sketch.process_stream(STREAM.keys[:5000])
+        probes = STREAM.keys[:200]
+        assert sketch.estimate_batch(probes) == [
+            sketch.estimate(int(k)) for k in probes
+        ]
+
+    def test_deletions_rejected(self):
+        sketch = SFSketch(total_bytes=4 * 1024)
+        with pytest.raises(NegativeCountError):
+            sketch.update(1, -1)
+
+
+class TestMerge:
+    def test_merge_is_one_sided_over_both_streams(self):
+        half = STREAM.keys.shape[0] // 2
+        a = SFSketch(total_bytes=8 * 1024, seed=5)
+        b = SFSketch(total_bytes=8 * 1024, seed=5)
+        a.process_stream(STREAM.keys[:half])
+        b.process_stream(STREAM.keys[half:])
+        a.merge(b)
+        for key, count in _true_counts().items():
+            assert a.estimate(key) >= count
+
+    def test_merge_requires_matching_geometry(self):
+        a = SFSketch(total_bytes=8 * 1024, seed=5)
+        b = SFSketch(total_bytes=8 * 1024, seed=6)
+        assert not a.is_mergeable_with(b)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_rejects_other_types(self):
+        a = SFSketch(total_bytes=8 * 1024)
+        assert not a.is_mergeable_with(CountMinSketch(total_bytes=8 * 1024))
+
+
+class TestProtocol:
+    def test_state_roundtrip_continues_identically(self):
+        sketch = SFSketch(total_bytes=8 * 1024, seed=5, fat_ratio=4)
+        sketch.process_stream(STREAM.keys[:10_000])
+        restored = SFSketch.from_state(sketch.state())
+        assert restored.state().equals(sketch.state())
+        tail = STREAM.keys[10_000:12_000]
+        sketch.process_stream(tail)
+        restored.process_stream(tail)
+        probes = STREAM.keys[:300]
+        assert sketch.estimate_batch(probes) == restored.estimate_batch(probes)
+
+    def test_registered_kind(self):
+        from repro.synopses.spec import SynopsisSpec, build_synopsis
+
+        built = build_synopsis(
+            SynopsisSpec("sf-sketch", {"total_bytes": 4 * 1024})
+        )
+        assert isinstance(built, SFSketch)
+
+    def test_shared_ops_record(self):
+        sketch = SFSketch(total_bytes=4 * 1024)
+        sketch.update(1)
+        assert sketch.ops is sketch.fat.ops is sketch.slim.ops
+        assert sketch.ops.sketch_cell_writes > 0
+
+
+class TestAsBackStage:
+    def test_asketch_over_sf_sketch(self):
+        """The staged core accepts SF as a back stage end to end."""
+        asketch = ASketch(
+            sketch=SFSketch(total_bytes=8 * 1024, seed=2), filter_items=16
+        )
+        asketch.process_batch(STREAM.keys)
+        true = _true_counts()
+        top_key, top_count = STREAM.true_top_k(1)[0]
+        assert asketch.query(top_key) == top_count
+        for key, count in list(true.items())[:300]:
+            assert asketch.query(key) >= count

@@ -42,8 +42,21 @@ SPECS = [
     SynopsisSpec("space-saving", {"capacity": 24, "estimate_mode": "min"}),
     SynopsisSpec("misra-gries", {"capacity": 24}),
     SynopsisSpec(
+        "sf-sketch",
+        {"num_hashes": 4, "total_bytes": 8 * 1024, "fat_ratio": 4, "seed": 7},
+    ),
+    SynopsisSpec(
+        "salsa-cm",
+        {"num_hashes": 4, "total_bytes": 8 * 1024, "seed": 7},
+    ),
+    SynopsisSpec(
         "asketch",
         {"total_bytes": 16 * 1024, "filter_items": 8, "seed": 7},
+    ),
+    SynopsisSpec(
+        "sliding-window-asketch",
+        {"window_size": 4096, "total_bytes": 8 * 1024, "filter_items": 8,
+         "seed": 7},
     ),
     SynopsisSpec(
         "sharded-asketch",
