@@ -9,6 +9,7 @@ Usage::
     repro-asketch run asketch --checkpoint-dir ckpts --checkpoint-every 8
     repro-asketch run zipf --metrics-json metrics.json
     repro-asketch run zipf --workers 4 --shards 8
+    repro-asketch run zipf --workers 4 --shards 8 --respawn --reshard
     repro-asketch resume ckpts --top-k 10
     repro-asketch checkpoint asketch.npz --method asketch --skew 1.5
     repro-asketch restore asketch.npz --top-k 10
@@ -40,7 +41,15 @@ through the default ASketch.  ``serve-metrics`` runs an ingest with a
 stdlib HTTP scrape endpoint at ``/metrics`` (Prometheus text) and
 ``/metrics.json``; ``health --checkpoint-dir DIR`` inspects the newest
 checkpoint and exits ``0`` (healthy), ``1`` (degraded or unreadable),
-``2`` (usage error / no checkpoints).
+``2`` (usage error / no checkpoints), ``3`` (healing: a worker respawn
+is rebuilding state, data intact).  Parallel runs journal their
+self-healing lifecycle counters (``worker_respawns``,
+``reshard_migrations``, ``load_shed_chunks``, stalls, quarantines) into
+every checkpoint, and ``health`` surfaces them under ``fleet``;
+``run --workers N`` itself exits non-zero when the fleet finishes
+degraded.  ``run --respawn`` enables exact worker recovery,
+``--reshard`` online skew-driven shard rebalancing, ``--load-shed``
+stall quarantining.
 """
 
 from __future__ import annotations
@@ -173,6 +182,33 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--respawn",
+        action="store_true",
+        help=(
+            "with --workers: respawn dead/hung workers from their last "
+            "snapshot and replay the retained tail (exact recovery; "
+            "falls back to standby after the retry budget)"
+        ),
+    )
+    run_parser.add_argument(
+        "--reshard",
+        action="store_true",
+        help=(
+            "with --workers: watch routing skew and move shards "
+            "between workers online (requires --shards > --workers to "
+            "have anything to move)"
+        ),
+    )
+    run_parser.add_argument(
+        "--load-shed",
+        action="store_true",
+        help=(
+            "with --workers: quarantine chunks for a stalled worker to "
+            "the dead-letter queue instead of failing it over (trades "
+            "accuracy for liveness; health reports degraded)"
+        ),
+    )
+    run_parser.add_argument(
         "--metrics-json",
         default=None,
         metavar="PATH",
@@ -241,7 +277,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "health",
         help=(
             "inspect the newest checkpoint of a resilient run; "
-            "exit 0 healthy, 1 degraded"
+            "exit 0 healthy, 1 degraded, 3 healing (recovery in flight)"
         ),
     )
     health_parser.add_argument(
@@ -572,6 +608,9 @@ def _run_parallel(args: argparse.Namespace) -> int:
         filter_kind=args.filter_kind,
         seed=args.seed,
         slot_capacity=max(1 << 16, args.chunk_size),
+        respawn=args.respawn,
+        auto_reshard=args.reshard,
+        load_shed=args.load_shed,
     )
     store = None
     if args.checkpoint_dir is not None:
@@ -587,13 +626,18 @@ def _run_parallel(args: argparse.Namespace) -> int:
         workers_ok = sum(
             1 for h in runtime.worker_health() if h["status"] == "ok"
         )
+        fleet = runtime.health()
         print(
             f"ingested {stats.tuples_ingested} tuples in "
             f"{stats.chunks_ingested} chunks across {args.workers} workers "
             f"({shards} shards, {per_shard_bytes} B/shard) in "
             f"{stats.wall_seconds:.2f}s "
             f"({stats.wall_throughput_items_per_ms:.0f} items/ms); "
-            f"{workers_ok}/{args.workers} workers healthy"
+            f"{workers_ok}/{args.workers} workers healthy; "
+            f"fleet {fleet['status']} "
+            f"(respawns {fleet['worker_respawns']}, "
+            f"migrations {fleet['reshard_migrations']}, "
+            f"shed {fleet['load_shed_chunks']})"
         )
         if args.metrics_json is not None:
             from repro.obs import write_metrics_json
@@ -604,10 +648,11 @@ def _run_parallel(args: argparse.Namespace) -> int:
                 derived={
                     "workers": runtime.worker_health(),
                     "shards": runtime.shard_health(),
+                    "fleet": fleet,
                 },
             )
             print(f"metrics snapshot written to {args.metrics_json}")
-    return 0
+    return 0 if fleet["status"] == "ok" else 1
 
 
 def _run_serve_metrics(args: argparse.Namespace) -> int:
@@ -694,10 +739,25 @@ def _run_health(args: argparse.Namespace) -> int:
     if isinstance(synopsis, ShardSupervisor):
         shards = synopsis.shard_health()
         report["shards"] = shards
-        if any(s["status"] != ShardSupervisor.STATUS_OK for s in shards):
+        statuses = {s["status"] for s in shards}
+        if ShardSupervisor.STATUS_FAILED in statuses:
             report["status"] = "degraded"
+        elif ShardSupervisor.STATUS_HEALING in statuses:
+            report["status"] = "healing"
+    extra = record.get("extra") or {}
+    if extra:
+        # Self-healing lifecycle counters journaled by the parallel
+        # runtime's checkpoints (respawns, migrations, shed chunks...).
+        report["fleet"] = extra
+        if extra.get("load_shed_chunks") or extra.get("quarantined_chunks"):
+            # Data is sitting in a dead-letter queue, not the synopsis.
+            report["status"] = "degraded"
+        elif report["status"] == "ok" and extra.get("healing_shards"):
+            report["status"] = "healing"
     print(json.dumps(report, indent=2))
-    return 0 if report["status"] == "ok" else 1
+    if report["status"] == "ok":
+        return 0
+    return 3 if report["status"] == "healing" else 1
 
 
 def _run_resume(args: argparse.Namespace) -> int:

@@ -102,6 +102,29 @@ class RecoveryError(ReproError):
     """
 
 
+class WorkerStalledError(ReproError):
+    """A parallel worker stopped consuming its ring without dying.
+
+    Raised by the parent-side wait loops of
+    :class:`~repro.runtime.parallel.ParallelIngestRuntime` when a
+    worker process is still alive but has made no ring progress within
+    its stall budget — the "slow/hung worker" case, which liveness
+    polling alone cannot distinguish from a merely busy worker.  The
+    runtime catches it internally and fails the worker over (respawn,
+    inline, or standby per configuration); it escapes to callers only
+    when no recovery tier is available.  Attributes: ``worker``
+    (worker index), ``waited_seconds`` (how long the parent waited
+    without observing progress).
+    """
+
+    def __init__(
+        self, message: str, *, worker: int, waited_seconds: float
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.waited_seconds = waited_seconds
+
+
 class ShardFailedError(ReproError):
     """A shard of a partitioned synopsis group failed during ingestion.
 

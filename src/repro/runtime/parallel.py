@@ -2,11 +2,12 @@
 
 :mod:`repro.hardware.spmd` *models* the paper's §6.3 multi-kernel run
 with a cost model; this module makes it real.  N worker processes each
-own the shards ``s`` with ``s % workers == w`` of one
-:class:`~repro.runtime.sharding.ShardedASketch` layout and ingest their
-shares through the ordinary ``process_batch`` path, fed over
-shared-memory ring buffers (``multiprocessing.shared_memory``,
-spawn-safe — no fork-dependent state).
+own a mutable set of shards of one
+:class:`~repro.runtime.sharding.ShardedASketch` layout (initially
+``s % workers == w``) and ingest their shares through the ordinary
+``process_batch`` path, fed over shared-memory ring buffers
+(``multiprocessing.shared_memory``, spawn-safe — no fork-dependent
+state).
 
 **Bit-identity.**  The parent routes every chunk with the group's own
 ``owners_of`` and sends worker ``w`` exactly the sub-array its shards
@@ -19,16 +20,27 @@ merge` (each shard is non-pristine on exactly one side).  The merged
 result's :meth:`state` **equals** a single-process ingest's, enforced
 by the parallel test suite.
 
-**Failover.**  Worker death is detected by the parent (process
-liveness, not an in-band exception).  Workers snapshot their group over
-a pipe every ``sync_every`` chunks, and the parent retains the
-un-snapshotted chunk tail per worker, so two recovery tiers exist:
+**Self-healing.**  Worker death is detected by the parent (process
+liveness plus ring-progress stall detection — a hung worker is not a
+dead worker, but both are failed over).  Workers snapshot their group
+over a pipe every ``sync_every`` chunks (each snapshot carries a
+content digest, so a corrupted snapshot is *rejected* and the retained
+replay tail kept), and the parent retains the un-snapshotted chunk
+tail per worker, giving three recovery tiers:
 
+* ``respawn=True`` (first tier): spawn a replacement process, restore
+  it from the last accepted snapshot, replay the retained tail into
+  its fresh ring, and resume exact ingest — **still bit-identical**,
+  and transient: the worker's shards walk a
+  ``ok → healing → ok`` lifecycle in
+  :meth:`~repro.runtime.reliability.ShardSupervisor.health`.  Respawns
+  are bounded per worker by a
+  :class:`~repro.runtime.reliability.RetryPolicy`; past the budget the
+  failure falls through to the configured ``failover`` tier.
 * ``failover="inline"`` (default): rebuild the dead worker's group from
   its last snapshot, replay the retained tail in-parent through the
   identical ``process_batch`` path, and keep serving that worker's
-  traffic in-parent — **still bit-identical**, because replay repeats
-  the exact sub-batches the worker would have processed.
+  traffic in-parent — bit-identical, minus the parallelism.
 * ``failover="standby"``: merge the frozen snapshot into the combined
   group, mark the worker's shards failed via
   :meth:`~repro.runtime.reliability.ShardSupervisor.fail_shard`, and
@@ -37,29 +49,74 @@ un-snapshotted chunk tail per worker, so two recovery tiers exist:
   semantics, now spanning process boundaries (estimates stay one-sided,
   ``shard_health()`` reflects the dead process).
 
+**Elastic resharding.**  :meth:`ParallelIngestRuntime.reshard` moves
+shard ownership between live workers online with a
+quiesce → export → install → commit protocol that is crash-consistent
+at every step: a worker dying mid-migration neither loses nor
+double-counts a shard (the parent strips pending exports from the dead
+worker's snapshot before any fallback merge, and the receiving side
+acknowledges adoption with a full fresh snapshot).  With
+``auto_reshard=True`` a skew-watching controller
+(:class:`~repro.runtime.adaptive.ReshardController`) proposes moves
+from the live ``shard_skew`` signal, with cooldown and bounds like the
+filter's :class:`~repro.runtime.adaptive.AdaptiveController`.
+
+**Backpressure & load-shedding.**  Ring occupancy is bounded, so a
+slow consumer exerts natural backpressure on the parent.  The parent
+distinguishes *no progress* (stall → typed
+:class:`~repro.errors.WorkerStalledError`, failover) from *slow
+progress* (keep waiting).  With ``load_shed=True`` a stalled ring
+sheds the overflowing share to the parent's
+:class:`~repro.runtime.reliability.DeadLetterQueue` instead of failing
+the worker — **this trades away both bit-identity and the one-sided
+guarantee for the shed keys** until the dead letters are replayed;
+:meth:`health` reports the run degraded whenever shed chunks exist.
+
+**In-worker resilience.**  Each worker wraps its ring in a
+:class:`~repro.runtime.reliability.RetryingSource` (transient ring
+faults retried with backoff) and quarantines poison chunks to a
+worker-local :class:`~repro.runtime.reliability.DeadLetterQueue`,
+reporting them to the parent instead of dying — the single-process
+:class:`~repro.runtime.reliability.ResilientEngine` semantics, inside
+the fleet.
+
 **Observability.**  With a registry installed (:mod:`repro.obs`) the
 parent records routing skew, per-worker item counters, ring depth,
-liveness, failures, and merge latency; each worker runs its own
-registry and forwards counter/gauge values over its pipe, which the
-parent re-labels with ``worker=<id>`` and folds into the installed
-registry.
+liveness, failures, respawns (``worker_respawns_total``), stalls
+(``parallel_worker_stalls_total``), migrations
+(``reshard_migrations_total``), shed chunks
+(``load_shed_chunks_total``), snapshot rejects
+(``parallel_snapshot_rejects_total``) and merge latency; trace points
+(``worker_respawn``, ``worker_healed``, ``worker_stalled``,
+``reshard_migration``, ``load_shed``, ``snapshot_reject``) mark every
+lifecycle transition.  Each worker runs its own registry and forwards
+counter/gauge values over its pipe, which the parent re-labels with
+``worker=<id>`` and folds into the installed registry.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import json
 import multiprocessing as mp
 import os
+import random
 import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    PoisonChunkError,
+    WorkerStalledError,
+)
 from repro.kernels import active_backend, set_backend, stamp_backend
 from repro.obs.registry import (
     Counter,
@@ -69,8 +126,16 @@ from repro.obs.registry import (
     install_registry,
     uninstall_registry,
 )
+from repro.obs.trace import trace_point
 from repro.runtime.engine import EngineStats, coerce_chunk
-from repro.runtime.reliability import CheckpointStore, ShardSupervisor
+from repro.runtime.reliability import (
+    CheckpointStore,
+    DeadLetterQueue,
+    FaultPlan,
+    RetryingSource,
+    RetryPolicy,
+    ShardSupervisor,
+)
 from repro.runtime.sharding import ShardedASketch
 from repro.synopses.protocol import SynopsisState
 
@@ -277,6 +342,15 @@ class ChunkRing:
         """Slots currently published but not yet consumed."""
         return int(self._header[_HDR_PRODUCED] - self._header[_HDR_CONSUMED])
 
+    def consumed(self) -> int:
+        """Total slots the consumer has taken so far.
+
+        The parent's *progress* signal: a worker whose ``consumed()``
+        advances is slow, not hung — stall detection keys off this
+        rather than wall-clock alone.
+        """
+        return int(self._header[_HDR_CONSUMED])
+
     def items_published(self) -> int:
         """Total items published so far."""
         return int(self._header[_HDR_ITEMS])
@@ -301,6 +375,40 @@ class ChunkRing:
             pass
 
 
+# -- snapshot integrity ------------------------------------------------------
+
+
+def _state_digest(state: SynopsisState) -> str:
+    """Content hash of a synopsis state (params + arrays + extra).
+
+    Travels alongside every snapshot/migration payload so the receiver
+    can detect in-flight corruption; a mismatch means *reject and keep
+    the replay tail*, never adopt.
+    """
+    h = hashlib.sha256()
+    h.update(state.kind.encode())
+    h.update(repr(sorted(state.params.items())).encode())
+    h.update(
+        json.dumps(state.extra, sort_keys=True, default=str).encode()
+    )
+    for name in sorted(state.arrays):
+        array = np.ascontiguousarray(state.arrays[name])
+        h.update(name.encode())
+        h.update(str(array.dtype).encode())
+        h.update(repr(array.shape).encode())
+        h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def _states_digest(states: Mapping[int, SynopsisState]) -> str:
+    """Combined digest over a shard-indexed batch of states."""
+    h = hashlib.sha256()
+    for index in sorted(states):
+        h.update(str(int(index)).encode())
+        h.update(_state_digest(states[index]).encode())
+    return h.hexdigest()
+
+
 # -- the worker process ------------------------------------------------------
 
 
@@ -321,16 +429,62 @@ def _export_metrics(registry: MetricsRegistry) -> list[tuple]:
     return rows
 
 
-def _send_snapshot(conn, group, registry, chunks_done, items_done) -> None:
-    conn.send(
-        (
-            "snapshot",
-            int(chunks_done),
-            int(items_done),
-            group.state(),
-            _export_metrics(registry),
-        )
-    )
+class _RingSource:
+    """The worker's view of its ring as a retryable chunk iterator.
+
+    Satisfies the :class:`~repro.runtime.reliability.RetryingSource`
+    re-offer contract: an injected transient failure is raised *before*
+    the chunk is surrendered and the same chunk is offered again on the
+    next ``__next__`` call.  ``control`` runs once per iteration (and
+    per idle timeout), keeping the worker responsive to parent control
+    messages even while the ring is empty.
+    """
+
+    def __init__(self, ring: ChunkRing, control, transient: dict | None) -> None:
+        self._ring = ring
+        self._control = control
+        self._transient = dict(transient or {})
+        #: 0-based count of chunks surrendered so far (= next position).
+        self.position = 0
+        #: Set when the parent died: stop quietly, nobody will drain us.
+        self.orphaned = False
+        self._pending: Any = None
+        self._has_pending = False
+
+    def __iter__(self) -> "_RingSource":
+        """Iterator protocol: the source is its own iterator."""
+        return self
+
+    def __next__(self) -> np.ndarray:
+        """Next chunk off the ring, injecting planned transient faults."""
+        while True:
+            self._control()
+            if not self._has_pending:
+                chunk = self._ring.get(timeout=0.05)
+                if chunk is RING_TIMEOUT:
+                    parent = mp.parent_process()
+                    if parent is not None and not parent.is_alive():
+                        self.orphaned = True
+                        raise StopIteration
+                    continue
+                if chunk is None:
+                    raise StopIteration
+                self._pending = chunk
+                self._has_pending = True
+            remaining = self._transient.get(self.position, 0)
+            if remaining > 0:
+                self._transient[self.position] = remaining - 1
+                from repro.errors import TransientSourceError
+
+                raise TransientSourceError(
+                    f"injected transient ring fault at chunk {self.position} "
+                    f"({remaining - 1} more to come)"
+                )
+            chunk = self._pending
+            self._pending = None
+            self._has_pending = False
+            self.position += 1
+            return chunk
 
 
 def _worker_main(
@@ -340,7 +494,8 @@ def _worker_main(
     conn,
     sync_every: int,
     backend_name: str,
-    crash_after_chunks: int | None = None,
+    faults: dict | None = None,
+    initial: tuple | None = None,
 ) -> None:
     """Worker body: drain the ring into a shard-local group.
 
@@ -350,46 +505,153 @@ def _worker_main(
     the drain merge's identity fast path).  ``backend_name`` is the
     parent's active kernel backend — spawn children re-import from
     scratch, so the selection must travel explicitly for the whole
-    fleet to compute on the same backend.  ``crash_after_chunks`` is
-    the fault hook: die hard (``os._exit``) while holding an unprocessed
-    chunk — modelling a mid-stream ``kill -9``.
+    fleet to compute on the same backend.
+
+    ``faults`` are the picklable hooks from
+    :meth:`~repro.runtime.reliability.FaultPlan.worker_faults_for`
+    (crash/exit/hang at a local chunk position, poison payload swap,
+    transient ring errors, snapshot corruption).  Faults are one-shot
+    per process *generation*: a respawned replacement runs fault-free,
+    otherwise a ``crash_after`` would re-fire on restore forever.
+
+    ``initial`` is ``(state, chunks_done, items_done)`` for a respawned
+    replacement: the group restores from the parent's last accepted
+    snapshot and chunk counting resumes from there, so the retained
+    tail the parent replays lands at exactly the right positions.
     """
     set_backend(backend_name)
     ring = ChunkRing.from_handle(handle)
     registry = install_registry(MetricsRegistry())
-    group = ShardedASketch(**group_params)
-    chunks_done = 0
-    items_done = 0
+    faults = dict(faults or {})
+    if initial is not None:
+        state, chunks_done, items_done = initial
+        group = ShardedASketch.from_state(state)
+        chunks_done = int(chunks_done)
+        items_done = int(items_done)
+    else:
+        group = ShardedASketch(**group_params)
+        chunks_done = 0
+        items_done = 0
+    dead_letters = DeadLetterQueue(capacity=64)
+    snapshots_sent = 0
     sync_target: int | None = None
+
+    def send_snapshot(tag: str = "snapshot") -> None:
+        nonlocal snapshots_sent
+        state = group.state()
+        digest = _state_digest(state)
+        snapshots_sent += 1
+        if (
+            tag == "snapshot"
+            and faults.get("corrupt_snapshot_at") == snapshots_sent
+        ):
+            # In-flight corruption: the digest was computed over the
+            # true state, then a payload array is flipped — the parent
+            # must detect the mismatch and reject.
+            for name in sorted(state.arrays):
+                array = state.arrays[name]
+                if array.size:
+                    corrupted = array.copy()
+                    corrupted.reshape(-1)[0] += 1
+                    state.arrays[name] = corrupted
+                    break
+        conn.send(
+            (
+                tag,
+                int(chunks_done),
+                int(items_done),
+                state,
+                digest,
+                _export_metrics(registry),
+            )
+        )
+
+    def handle_control() -> None:
+        nonlocal sync_target
+        while conn.poll():
+            message = conn.recv()
+            tag = message[0]
+            if tag == "sync":
+                sync_target = int(message[1])
+            elif tag == "migrate_out":
+                # Phase one of the handoff: read-only export.  The
+                # local copies are NOT reset until the parent confirms
+                # the new owner adopted them (migrate_commit), so a
+                # crash anywhere in between leaves this worker's
+                # snapshot still carrying the shards.
+                shard_list = [int(s) for s in message[1]]
+                states = {
+                    s: group.shards[s].state() for s in shard_list
+                }
+                conn.send(
+                    (
+                        "migrated",
+                        int(chunks_done),
+                        states,
+                        _states_digest(states),
+                    )
+                )
+            elif tag == "migrate_in":
+                for shard, shard_state in message[1].items():
+                    group.install_shard(int(shard), shard_state)
+                # The adoption ack IS a full fresh snapshot: once the
+                # parent accepts it, a later death of this worker
+                # recovers the migrated shard from snapshot like any
+                # other data — no special mid-migration state survives.
+                send_snapshot("adopted")
+            elif tag == "migrate_commit":
+                for shard in message[1]:
+                    group.export_shard(int(shard))  # discard: reset
+                send_snapshot("migrate_committed")
+        if sync_target is not None and chunks_done >= sync_target:
+            send_snapshot()
+            sync_target = None
+
+    source = _RingSource(ring, handle_control, faults.get("transient"))
+    retrying = RetryingSource(
+        source,
+        default_policy=RetryPolicy(
+            max_retries=8, base_delay=0.001, multiplier=2.0,
+            max_delay=0.05, jitter=0.5,
+        ),
+        seed=int(faults.get("seed", 0)) * 131 + worker_id,
+    )
     try:
-        while True:
-            while conn.poll():
-                message = conn.recv()
-                if isinstance(message, tuple) and message[0] == "sync":
-                    sync_target = int(message[1])
-            if sync_target is not None and chunks_done >= sync_target:
-                _send_snapshot(conn, group, registry, chunks_done, items_done)
-                sync_target = None
-            chunk = ring.get(timeout=0.05)
-            if chunk is RING_TIMEOUT:
-                parent = mp.parent_process()
-                if parent is not None and not parent.is_alive():
-                    return  # orphaned: parent died, nobody will drain us
+        for chunk in retrying:
+            position = chunks_done
+            if "crash_after" in faults and position >= faults["crash_after"]:
+                os._exit(17)  # injected mid-stream kill -9, no cleanup
+            if "exit_after" in faults and position >= faults["exit_after"]:
+                sys.exit(3)  # premature "clean" exit, no final snapshot
+            if "hang_after" in faults and position >= faults["hang_after"]:
+                while True:  # alive but stalled: the slow/hung case
+                    time.sleep(0.05)
+                    parent = mp.parent_process()
+                    if parent is None or not parent.is_alive():
+                        os._exit(0)
+            if faults.get("poison_at") == position:
+                chunk = np.asarray(chunk, dtype=np.float64) + 0.5
+            try:
+                array = coerce_chunk(chunk, position)
+            except PoisonChunkError as exc:
+                # Quarantine and continue — the ResilientEngine
+                # semantics inside a worker.  The position still
+                # counts: the parent's retained-tail pruning is keyed
+                # to chunks *handled*, ingested or not.
+                dead_letters.quarantine(position, chunk, exc.reason)
+                conn.send(("quarantine", int(position), exc.reason))
+                chunks_done += 1
+                handle_control()
                 continue
-            if chunk is None:
-                break
-            if (
-                crash_after_chunks is not None
-                and chunks_done >= crash_after_chunks
-            ):
-                os._exit(17)  # injected mid-stream death, no cleanup
-            group.process_batch(chunk)
+            group.process_batch(array)
             chunks_done += 1
-            items_done += int(chunk.shape[0])
+            items_done += int(array.shape[0])
             if chunks_done % sync_every == 0:
-                _send_snapshot(conn, group, registry, chunks_done, items_done)
-        _send_snapshot(conn, group, registry, chunks_done, items_done)
-        conn.send(("done", int(chunks_done), int(items_done)))
+                send_snapshot()
+            handle_control()
+        if not source.orphaned:
+            send_snapshot()
+            conn.send(("done", int(chunks_done), int(items_done)))
     except Exception as error:  # surface, then die visibly
         try:
             conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -425,6 +687,13 @@ class _WorkerSlot:
     metrics_last: dict = field(default_factory=dict)
     done: bool = False
     error: str | None = None
+    respawns: int = 0
+    stalls: int = 0
+    quarantined: int = 0
+    snapshot_rejects: int = 0
+    #: While healing: the chunk count a replacement's snapshot must
+    #: reach before the worker's shards flip back to healthy.
+    heal_target: int | None = None
 
     @property
     def feeding_ring(self) -> bool:
@@ -438,8 +707,9 @@ class ParallelIngestRuntime:
     Parameters
     ----------
     workers:
-        Worker process count; worker ``w`` owns shards ``s`` with
-        ``s % workers == w``.
+        Worker process count; worker ``w`` initially owns shards ``s``
+        with ``s % workers == w`` (ownership may move via
+        :meth:`reshard`).
     shards:
         Shard count (default: one per worker).  Must be >= ``workers``.
     total_bytes, filter_items, filter_kind, num_hashes, seed:
@@ -456,12 +726,46 @@ class ParallelIngestRuntime:
     failover:
         ``"inline"`` (exact in-parent recovery, bit-identity preserved)
         or ``"standby"`` (PR-3 degradation: frozen snapshot + standby
-        Count-Min via :meth:`ShardSupervisor.fail_shard`).
+        Count-Min via :meth:`ShardSupervisor.fail_shard`).  This is the
+        *terminal* tier; with ``respawn=True`` it is reached only after
+        the respawn budget is spent.
+    respawn:
+        Enable the first recovery tier: dead/hung workers are replaced
+        by fresh processes restored from snapshot + retained-tail
+        replay (exact, transient ``healing`` state).
+    respawn_policy:
+        :class:`~repro.runtime.reliability.RetryPolicy` bounding
+        respawns per worker (``max_retries``) and pacing the backoff
+        between attempts.
+    auto_reshard:
+        Watch routing skew and move shards between workers online via
+        :class:`~repro.runtime.adaptive.ReshardController`.
+    reshard_skew_threshold, reshard_min_window_items,
+    reshard_cooldown_windows:
+        Controller bounds: minimum observed-window skew that triggers a
+        move, minimum items per observation window, and windows to hold
+        off after a migration.
+    load_shed:
+        Instead of failing over a stalled worker, quarantine the
+        overflowing share to :attr:`dead_letters` and keep going.
+        Sacrifices bit-identity *and* the one-sided guarantee for the
+        shed keys until the dead letters are replayed.
+    dead_letter_capacity:
+        Parent-side dead-letter queue capacity (shed shares and
+        worker-quarantined payloads).
+    stall_timeout:
+        Seconds without any ring progress before a worker counts as
+        stalled (default: ``put_timeout``).  Progress resets the clock:
+        slow workers are waited on, hung workers are not.
     standby_hashes, standby_bytes:
         Standby sizing, forwarded to :class:`ShardSupervisor`.
+    fault_plan:
+        A :class:`~repro.runtime.reliability.FaultPlan` whose
+        cross-process faults (``worker_crash``/``worker_exit``/
+        ``worker_hang``/``worker_poison``/``worker_transient``/
+        ``corrupt_snapshot``) are acted out inside the workers.
     inject_crash:
-        ``{worker_id: after_chunks}`` fault hook — that worker calls
-        ``os._exit`` once it has processed ``after_chunks`` chunks.
+        Legacy shorthand for ``FaultPlan(worker_crash=...)``.
     put_timeout, drain_timeout:
         Seconds the parent waits on a stuck ring slot / on drain
         messages before declaring the worker hung and failing it over.
@@ -483,8 +787,18 @@ class ParallelIngestRuntime:
         slot_capacity: int = 1 << 16,
         sync_every: int = 8,
         failover: str = "inline",
+        respawn: bool = False,
+        respawn_policy: RetryPolicy | None = None,
+        auto_reshard: bool = False,
+        reshard_skew_threshold: float = 1.5,
+        reshard_min_window_items: int = 2048,
+        reshard_cooldown_windows: int = 2,
+        load_shed: bool = False,
+        dead_letter_capacity: int = 64,
+        stall_timeout: float | None = None,
         standby_hashes: int = 4,
         standby_bytes: int | None = None,
+        fault_plan: FaultPlan | None = None,
         inject_crash: dict[int, int] | None = None,
         put_timeout: float = 60.0,
         drain_timeout: float = 60.0,
@@ -506,6 +820,11 @@ class ParallelIngestRuntime:
                 f"failover must be one of {self.FAILOVER_MODES}, "
                 f"got {failover!r}"
             )
+        if reshard_skew_threshold <= 1.0:
+            raise ConfigurationError(
+                "reshard_skew_threshold must exceed 1.0, got "
+                f"{reshard_skew_threshold}"
+            )
         self.workers = int(workers)
         self.group_params = {
             "shards": shards,
@@ -519,32 +838,82 @@ class ParallelIngestRuntime:
         self.slot_capacity = int(slot_capacity)
         self.sync_every = int(sync_every)
         self.failover = failover
+        self.respawn = bool(respawn)
+        self.respawn_policy = respawn_policy or RetryPolicy(
+            max_retries=3, base_delay=0.05, multiplier=2.0,
+            max_delay=1.0, jitter=0.25,
+        )
+        self.auto_reshard = bool(auto_reshard)
+        self.reshard_skew_threshold = float(reshard_skew_threshold)
+        self.reshard_min_window_items = int(reshard_min_window_items)
+        self.reshard_cooldown_windows = int(reshard_cooldown_windows)
+        self.load_shed = bool(load_shed)
+        self.stall_timeout = stall_timeout
         self.standby_hashes = int(standby_hashes)
         self.standby_bytes = standby_bytes
+        self.fault_plan = fault_plan
         self.inject_crash = dict(inject_crash or {})
         self.put_timeout = float(put_timeout)
         self.drain_timeout = float(drain_timeout)
         #: The combined result (populated by :meth:`run`).
         self.supervisor: ShardSupervisor | None = None
         self.stats = EngineStats()
+        #: Parent-side quarantine: load-shed shares plus payloads of
+        #: chunks workers quarantined (recovered from the retained tail
+        #: when still available).
+        self.dead_letters = DeadLetterQueue(capacity=dead_letter_capacity)
+        #: Completed shard migrations (reshard moves applied).
+        self.migrations = 0
+        #: Chunk shares shed to the dead-letter queue under load.
+        self.shed_chunks = 0
         self._slots: list[_WorkerSlot] = []
+        self._assignment = np.array(
+            [s % self.workers for s in range(shards)], dtype=np.int64
+        )
+        self._shard_items = np.zeros(shards, dtype=np.int64)
+        self._respawn_rng = random.Random(int(seed) * 31337 + 7)
+        #: shards exported from a worker but not yet commit-acked there
+        #: — stripped from that worker's snapshot on failover so a
+        #: mid-migration death cannot double-count them.
+        self._exports_pending: dict[int, set[int]] = {}
 
     def shards_of(self, worker: int) -> list[int]:
-        """Shard indices owned by one worker."""
-        return [
-            s
-            for s in range(self.group_params["shards"])
-            if s % self.workers == worker
-        ]
+        """Shard indices currently owned by one worker."""
+        return [int(s) for s in np.nonzero(self._assignment == worker)[0]]
+
+    def shard_item_counts(self) -> np.ndarray:
+        """Cumulative items routed per shard this run (copy).
+
+        The :class:`~repro.runtime.adaptive.ReshardController` reads
+        this to compute per-worker load under the current assignment.
+        """
+        return self._shard_items.copy()
+
+    @property
+    def respawn_count(self) -> int:
+        """Total worker respawns across the fleet."""
+        return sum(slot.respawns for slot in self._slots)
+
+    @property
+    def stall_count(self) -> int:
+        """Total stall detections across the fleet."""
+        return sum(slot.stalls for slot in self._slots)
+
+    @property
+    def quarantined_count(self) -> int:
+        """Total chunks quarantined inside workers."""
+        return sum(slot.quarantined for slot in self._slots)
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _start_workers(self) -> None:
-        ctx = mp.get_context("spawn")
-        # Spawn re-imports modules in a fresh interpreter: sys.path edits
-        # made in-process (benchmark scripts, test harnesses) are not
-        # inherited, so pin the package root into PYTHONPATH around the
-        # starts.
+    @contextlib.contextmanager
+    def _pinned_pythonpath(self):
+        """Pin the package root into PYTHONPATH around spawn starts.
+
+        Spawn re-imports modules in a fresh interpreter: sys.path edits
+        made in-process (benchmark scripts, test harnesses) are not
+        inherited, so the package root must travel via the environment.
+        """
         import repro
 
         package_root = str(Path(repro.__file__).resolve().parents[1])
@@ -555,44 +924,71 @@ class ParallelIngestRuntime:
                 [package_root, *entries]
             )
         try:
-            for index in range(self.workers):
-                ring = ChunkRing(self.slots, self.slot_capacity)
-                try:
-                    parent_conn, child_conn = ctx.Pipe(duplex=True)
-                    process = ctx.Process(
-                        target=_worker_main,
-                        args=(
-                            index,
-                            ring.handle(),
-                            self.group_params,
-                            child_conn,
-                            self.sync_every,
-                            active_backend().name,
-                            self.inject_crash.get(index),
-                        ),
-                        daemon=True,
-                        name=f"repro-ingest-{index}",
-                    )
-                    process.start()
-                except BaseException:
-                    # A failed start would otherwise leak this ring:
-                    # it only enters _slots (and _shutdown's sweep)
-                    # after the process is up.
-                    ring.close()
-                    ring.unlink()
-                    raise
-                child_conn.close()
-                self._slots.append(
-                    _WorkerSlot(
-                        index=index, process=process, ring=ring,
-                        conn=parent_conn,
-                    )
-                )
+            yield
         finally:
             if previous is None:
                 os.environ.pop("PYTHONPATH", None)
             else:
                 os.environ["PYTHONPATH"] = previous
+
+    def _worker_faults(self, index: int) -> dict | None:
+        hooks: dict | None = None
+        if self.fault_plan is not None:
+            hooks = self.fault_plan.worker_faults_for(index)
+        if index in self.inject_crash:
+            hooks = dict(hooks or {"seed": 0})
+            hooks.setdefault("crash_after", int(self.inject_crash[index]))
+        return hooks
+
+    def _launch(
+        self,
+        index: int,
+        *,
+        initial: tuple | None = None,
+        faults: dict | None = None,
+    ) -> tuple[Any, Any, ChunkRing]:
+        """Start one worker process with a fresh ring and pipe."""
+        ctx = mp.get_context("spawn")
+        ring = ChunkRing(self.slots, self.slot_capacity)
+        try:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    ring.handle(),
+                    self.group_params,
+                    child_conn,
+                    self.sync_every,
+                    active_backend().name,
+                    faults,
+                    initial,
+                ),
+                daemon=True,
+                name=f"repro-ingest-{index}",
+            )
+            process.start()
+        except BaseException:
+            # A failed start would otherwise leak this ring: it only
+            # enters _slots (and _shutdown's sweep) after the process
+            # is up.
+            ring.close()
+            ring.unlink()
+            raise
+        child_conn.close()
+        return process, parent_conn, ring
+
+    def _start_workers(self) -> None:
+        with self._pinned_pythonpath():
+            for index in range(self.workers):
+                process, conn, ring = self._launch(
+                    index, faults=self._worker_faults(index)
+                )
+                self._slots.append(
+                    _WorkerSlot(
+                        index=index, process=process, ring=ring, conn=conn,
+                    )
+                )
 
     def _shutdown(self) -> None:
         for slot in self._slots:
@@ -626,10 +1022,30 @@ class ParallelIngestRuntime:
             else:
                 registry.gauge(name, **labelled).set(value)
 
+    #: Message tags carrying a full group snapshot (handled alike).
+    _SNAPSHOT_TAGS = ("snapshot", "adopted", "migrate_committed")
+
     def _handle_message(self, slot: _WorkerSlot, message: tuple) -> None:
         tag = message[0]
-        if tag == "snapshot":
-            _, chunks_done, items_done, state, metric_rows = message
+        if tag in self._SNAPSHOT_TAGS:
+            _, chunks_done, items_done, state, digest, metric_rows = message
+            if _state_digest(state) != digest:
+                # Corrupted in flight: reject, keep the previous
+                # snapshot AND the retained tail it still covers.
+                slot.snapshot_rejects += 1
+                registry = current_registry()
+                if registry is not None:
+                    registry.counter(
+                        "parallel_snapshot_rejects_total",
+                        worker=str(slot.index),
+                    ).inc()
+                trace_point(
+                    "snapshot_reject",
+                    worker=slot.index,
+                    chunks=int(chunks_done),
+                )
+                self._apply_worker_metrics(slot, metric_rows)
+                return
             slot.snapshot_state = state
             slot.snapshot_chunks = int(chunks_done)
             slot.snapshot_items = int(items_done)
@@ -640,6 +1056,21 @@ class ParallelIngestRuntime:
                 slot.retained.popleft()
                 slot.acked_chunks += 1
             self._apply_worker_metrics(slot, metric_rows)
+            if (
+                slot.heal_target is not None
+                and slot.snapshot_chunks >= slot.heal_target
+            ):
+                self._complete_healing(slot)
+        elif tag == "quarantine":
+            _, position, reason = message
+            slot.quarantined += 1
+            payload = None
+            offset = int(position) - slot.acked_chunks
+            if 0 <= offset < len(slot.retained):
+                payload = slot.retained[offset]
+            self.dead_letters.quarantine(
+                int(position), payload, f"worker {slot.index}: {reason}"
+            )
         elif tag == "done":
             slot.done = True
         elif tag == "error":
@@ -652,16 +1083,20 @@ class ParallelIngestRuntime:
         except (EOFError, OSError):
             pass  # pipe gone; liveness check deals with the process
 
-    def _drain_all_messages(self) -> None:
+    def _drain_all_messages(
+        self, exclude: _WorkerSlot | None = None
+    ) -> None:
         """Drain every live worker's pipe.
 
         A snapshot can exceed the pipe buffer, so a worker may *block in
         send* until the parent reads — any parent-side wait loop must
         keep draining all pipes or two blocked sides deadlock (worker
         stuck in send, parent stuck waiting for that worker's ring).
+        ``exclude`` protects a pipe another loop is reading selectively
+        (see :meth:`_await_message`).
         """
         for slot in self._slots:
-            if slot.feeding_ring:
+            if slot.feeding_ring and slot is not exclude:
                 self._drain_messages(slot)
 
     def _check_liveness(self) -> None:
@@ -679,8 +1114,53 @@ class ParallelIngestRuntime:
 
     # -- failover ----------------------------------------------------------
 
-    def _fail_worker(self, slot: _WorkerSlot, reason: str) -> None:
-        """Recover a dead/hung worker's traffic per the failover mode."""
+    def _complete_healing(self, slot: _WorkerSlot) -> None:
+        """A replacement's snapshot caught up: shards healthy again."""
+        slot.heal_target = None
+        if self.supervisor is None:
+            return
+        for shard in self.shards_of(slot.index):
+            self.supervisor.heal_shard(shard)
+        trace_point("worker_healed", worker=slot.index)
+
+    def _record_stall(self, slot: _WorkerSlot, waited: float, what: str):
+        """Build the typed stall error and record its telemetry."""
+        slot.stalls += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "parallel_worker_stalls_total", worker=str(slot.index)
+            ).inc()
+        trace_point(
+            "worker_stalled", worker=slot.index, waited_seconds=waited,
+            what=what,
+        )
+        return WorkerStalledError(
+            f"worker {slot.index} stalled: no progress on {what} for "
+            f"{waited:.1f}s",
+            worker=slot.index,
+            waited_seconds=waited,
+        )
+
+    def _stall(
+        self,
+        slot: _WorkerSlot,
+        waited: float,
+        what: str,
+        *,
+        allow_respawn: bool = True,
+    ) -> None:
+        """Record a stall and fail the worker over (hung ≠ dead, but
+        both leave the ring unserved)."""
+        error = self._record_stall(slot, waited, what)
+        slot.error = slot.error or str(error)
+        self._fail_worker(slot, str(error), allow_respawn=allow_respawn)
+
+    def _fail_worker(
+        self, slot: _WorkerSlot, reason: str, *, allow_respawn: bool = True
+    ) -> None:
+        """Recover a dead/hung worker's traffic, walking the tiers:
+        respawn (if enabled and budgeted), then inline/standby."""
         registry = current_registry()
         if registry is not None:
             registry.counter(
@@ -690,32 +1170,206 @@ class ParallelIngestRuntime:
         if slot.process.is_alive():
             slot.process.terminate()
         slot.process.join(timeout=10.0)
+        if (
+            self.respawn
+            and allow_respawn
+            and slot.status == "ok"
+            and not slot.done
+        ):
+            if self._respawn_worker(slot, reason):
+                return
+            # The replacement is unusable too: salvage whatever
+            # snapshot it managed (accepted snapshots already pruned
+            # the retained tail consistently), then fall through.
+            self._drain_messages(slot)
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join(timeout=10.0)
+            self._drain_messages(slot)
         pending = list(slot.retained)
         slot.retained.clear()
         assert self.supervisor is not None
+        owned = self.shards_of(slot.index)
+        # Shards exported to a new owner but not yet commit-acked by
+        # this worker still sit in its snapshot — discard them before
+        # any merge/replay, or the handoff double-counts.
+        stripped = self._exports_pending.get(slot.index, set())
         if self.failover == "inline":
             if slot.snapshot_state is not None:
                 group = ShardedASketch.from_state(slot.snapshot_state)
             else:
                 group = ShardedASketch(**self.group_params)
+            for shard in stripped:
+                group.export_shard(shard)
             for share in pending:
                 group.process_batch(share)
             slot.inline_group = group
             slot.status = "inlined"
+            # Inline recovery is exact: any healing shards are whole.
+            for shard in owned:
+                self.supervisor.heal_shard(shard)
         else:
             if slot.snapshot_state is not None:
-                self.supervisor.group.merge(
-                    ShardedASketch.from_state(slot.snapshot_state)
-                )
-            for shard_index in self.shards_of(slot.index):
+                group = ShardedASketch.from_state(slot.snapshot_state)
+                for shard in stripped:
+                    group.export_shard(shard)
+                self.supervisor.group.merge(group)
+            for shard_index in owned:
                 self.supervisor.fail_shard(shard_index, reason)
             for share in pending:
                 if share.size:
                     self.supervisor.process_batch(share)
             slot.status = "failed"
+        slot.heal_target = None
         slot.error = slot.error or reason
         slot.ring.close()
         slot.ring.unlink()
+
+    def _respawn_worker(self, slot: _WorkerSlot, reason: str) -> bool:
+        """Tier-one recovery: replace the process, restore, replay.
+
+        Returns False when the respawn budget is spent or the
+        replacement itself fails during replay — the caller then falls
+        through to the terminal failover tier, which remains correct
+        because accepted replacement snapshots prune the retained tail
+        consistently with the state they carry.
+        """
+        policy = self.respawn_policy
+        if slot.respawns >= policy.max_retries:
+            return False
+        attempt = slot.respawns
+        slot.respawns += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "worker_respawns_total", worker=str(slot.index)
+            ).inc()
+        trace_point(
+            "worker_respawn", worker=slot.index, attempt=attempt,
+            reason=reason,
+        )
+        if self.supervisor is not None:
+            for shard in self.shards_of(slot.index):
+                self.supervisor.begin_healing(
+                    shard, f"worker {slot.index} respawning: {reason}"
+                )
+        time.sleep(min(policy.delay_for(attempt, self._respawn_rng), 1.0))
+        initial = None
+        if slot.snapshot_state is not None:
+            initial = (
+                slot.snapshot_state,
+                slot.snapshot_chunks,
+                slot.snapshot_items,
+            )
+        # Injected faults are one-shot per process generation: the
+        # replacement runs fault-free (a crash_after would re-fire on
+        # restore and loop the respawn budget away for nothing).
+        with self._pinned_pythonpath():
+            process, conn, ring = self._launch(
+                slot.index, initial=initial, faults=None
+            )
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        slot.ring.close()
+        slot.ring.unlink()
+        slot.process = process
+        slot.conn = conn
+        slot.ring = ring
+        slot.metrics_last = {}
+        slot.done = False
+        slot.error = None
+        slot.heal_target = slot.sent_chunks
+        for share in slot.retained:
+            if not self._replay_into(slot, share):
+                return False
+        try:
+            # Ask for a snapshot at the caught-up position: its arrival
+            # completes the healing cycle.
+            slot.conn.send(("sync", slot.sent_chunks))
+        except (OSError, BrokenPipeError):
+            return False
+        return True
+
+    def _replay_into(self, slot: _WorkerSlot, share: np.ndarray) -> bool:
+        """Feed one retained share to a replacement's fresh ring."""
+        deadline = time.monotonic() + self.put_timeout
+        while not slot.ring.put(share, timeout=0.25):
+            self._drain_all_messages()
+            if not slot.process.is_alive():
+                return False
+            if time.monotonic() > deadline:
+                return False
+        return True
+
+    # -- backpressure / feeding --------------------------------------------
+
+    def _put_with_failover(self, slot: _WorkerSlot, put, *, sheddable):
+        """Drive one ring publish under backpressure.
+
+        ``put(timeout)`` is retried while draining pipes.  Outcomes:
+        ``"ok"`` (published), ``"shed"`` (stalled and load-shedding is
+        on), ``"rerouted"`` (the worker was failed over — the slot is
+        now respawned/inlined/failed and the caller must re-dispatch).
+        Progress on the ring (``consumed()`` advancing) resets the
+        stall clock: a slow worker is waited on indefinitely, only a
+        worker making *no* progress within ``stall_timeout`` is
+        declared stalled.
+        """
+        budget = (
+            self.stall_timeout
+            if self.stall_timeout is not None
+            else self.put_timeout
+        )
+        last_progress = time.monotonic()
+        progressed = slot.ring.consumed()
+        while True:
+            if put(0.25):
+                return "ok"
+            self._drain_all_messages()
+            if not slot.process.is_alive():
+                self._fail_worker(
+                    slot,
+                    f"worker {slot.index} died "
+                    f"(exitcode {slot.process.exitcode})",
+                )
+                return "rerouted"
+            now = time.monotonic()
+            consumed = slot.ring.consumed()
+            if consumed > progressed:
+                progressed = consumed
+                last_progress = now
+            waited = now - last_progress
+            if waited > budget:
+                if sheddable and self.load_shed:
+                    return "shed"
+                self._stall(slot, waited, "ring")
+                return "rerouted"
+
+    def _shed(self, slot: _WorkerSlot, share: np.ndarray) -> None:
+        """Quarantine an overflowing share instead of blocking/failing.
+
+        The share is neither sent nor retained, so the final synopsis
+        under-counts its keys until the dead letters are replayed —
+        :meth:`health` reports the run degraded while any shed chunks
+        exist.
+        """
+        self.shed_chunks += 1
+        if share.size:
+            self.dead_letters.quarantine(
+                slot.sent_chunks,
+                share,
+                f"load-shed: worker {slot.index} ring made no progress",
+            )
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "load_shed_chunks_total", worker=str(slot.index)
+            ).inc()
+        trace_point(
+            "load_shed", worker=slot.index, items=int(share.shape[0])
+        )
 
     def _feed(self, slot: _WorkerSlot, share: np.ndarray) -> None:
         """Route one chunk share to a worker (or its failover path)."""
@@ -728,33 +1382,24 @@ class ParallelIngestRuntime:
                 assert self.supervisor is not None
                 self.supervisor.process_batch(share)
             return
-        deadline = time.monotonic() + self.put_timeout
-        while not slot.ring.put(share, timeout=0.25):
-            self._drain_all_messages()
-            if not slot.process.is_alive():
-                self._fail_worker(
-                    slot,
-                    f"worker {slot.index} died "
-                    f"(exitcode {slot.process.exitcode})",
-                )
-                self._feed(slot, share)
-                return
-            if time.monotonic() > deadline:
-                self._fail_worker(
-                    slot,
-                    f"worker {slot.index} hung: ring full for "
-                    f"{self.put_timeout:.0f}s",
-                )
-                self._feed(slot, share)
-                return
-        slot.sent_chunks += 1
-        slot.sent_items += int(share.shape[0])
-        slot.retained.append(share)
-        registry = current_registry()
-        if registry is not None and share.size:
-            registry.counter(
-                "parallel_worker_items_total", worker=str(slot.index)
-            ).inc(int(share.shape[0]))
+        outcome = self._put_with_failover(
+            slot,
+            lambda timeout: slot.ring.put(share, timeout=timeout),
+            sheddable=True,
+        )
+        if outcome == "ok":
+            slot.sent_chunks += 1
+            slot.sent_items += int(share.shape[0])
+            slot.retained.append(share)
+            registry = current_registry()
+            if registry is not None and share.size:
+                registry.counter(
+                    "parallel_worker_items_total", worker=str(slot.index)
+                ).inc(int(share.shape[0]))
+        elif outcome == "shed":
+            self._shed(slot, share)
+        else:  # rerouted: the slot changed tier (or was respawned)
+            self._feed(slot, share)
 
     # -- driving -----------------------------------------------------------
 
@@ -781,11 +1426,31 @@ class ParallelIngestRuntime:
                 "checkpoint_every requires a checkpoint_store"
             )
         self.stats = EngineStats()
+        self._slots = []
+        self.migrations = 0
+        self.shed_chunks = 0
+        self._exports_pending = {}
+        shards = self.group_params["shards"]
+        self._assignment = np.array(
+            [s % self.workers for s in range(shards)], dtype=np.int64
+        )
+        self._shard_items = np.zeros(shards, dtype=np.int64)
         self.supervisor = ShardSupervisor(
             standby_hashes=self.standby_hashes,
             standby_bytes=self.standby_bytes,
             **self.group_params,
         )
+        controller = None
+        if self.auto_reshard and self.workers > 1:
+            from repro.runtime.adaptive import ReshardController
+
+            controller = ReshardController(
+                self,
+                skew_threshold=self.reshard_skew_threshold,
+                min_window_items=self.reshard_min_window_items,
+                cooldown_windows=self.reshard_cooldown_windows,
+            )
+        self.reshard_controller = controller
         registry = current_registry()
         if registry is not None:
             stamp_backend(registry)
@@ -799,15 +1464,21 @@ class ParallelIngestRuntime:
             for chunk in chunks:
                 chunk = coerce_chunk(chunk, self.stats.chunks_ingested)
                 owners = router.owners_of(chunk)
+                if owners.size:
+                    self._shard_items += np.bincount(
+                        owners, minlength=shards
+                    )
                 if registry is not None:
                     self._record_routing_metrics(registry, owners)
-                worker_of = owners % self.workers
+                worker_of = self._assignment[owners]
                 for slot in self._slots:
                     self._feed(slot, chunk[worker_of == slot.index])
                 self.stats.tuples_ingested += int(chunk.shape[0])
                 self.stats.chunks_ingested += 1
                 chunks_since_checkpoint += 1
                 self._check_liveness()
+                if controller is not None:
+                    controller.observe(self.stats.chunks_ingested)
                 if registry is not None:
                     self._record_fleet_metrics(registry)
                 if (
@@ -822,6 +1493,7 @@ class ParallelIngestRuntime:
                     self.supervisor,
                     chunk_index=self.stats.chunks_ingested,
                     tuples_ingested=self.stats.tuples_ingested,
+                    extra=self._health_extra(),
                 )
         finally:
             self._shutdown()
@@ -862,8 +1534,10 @@ class ParallelIngestRuntime:
         """Block until every ring-fed worker's snapshot covers its target.
 
         ``target_of(slot)`` gives the chunk count the snapshot must
-        reach.  Workers that die or stall past ``drain_timeout`` while
-        we wait are failed over on the spot.
+        reach.  Workers that die while we wait are failed over on the
+        spot; a failover resets the deadline (a respawned replacement
+        legitimately needs time to catch back up).  Workers making no
+        progress past ``drain_timeout`` raise the typed stall path.
         """
         deadline = time.monotonic() + self.drain_timeout
         while True:
@@ -876,6 +1550,7 @@ class ParallelIngestRuntime:
             if not waiting:
                 return
             self._drain_all_messages()
+            failed_over = False
             for slot in waiting:
                 if (
                     slot.snapshot_chunks < target_of(slot)
@@ -886,37 +1561,89 @@ class ParallelIngestRuntime:
                         f"worker {slot.index} died "
                         f"(exitcode {slot.process.exitcode})",
                     )
+                    failed_over = True
+            if failed_over:
+                deadline = time.monotonic() + self.drain_timeout
+                continue
             if time.monotonic() > deadline:
                 for slot in waiting:
                     if slot.feeding_ring:
-                        self._fail_worker(
-                            slot,
-                            f"worker {slot.index} hung: no snapshot within "
-                            f"{self.drain_timeout:.0f}s",
-                        )
-                return
+                        self._stall(slot, self.drain_timeout, "snapshot")
+                deadline = time.monotonic() + self.drain_timeout
+                continue
             time.sleep(0.005)
+
+    def _await_message(
+        self, slot: _WorkerSlot, tag: str, timeout: float
+    ):
+        """Wait for one specific control reply from one worker.
+
+        Other messages from the same worker are handled inline; other
+        workers' pipes are kept drained (deadlock avoidance).  Returns
+        the matching message, or ``None`` after failing the worker over
+        (death or stall) — the caller re-examines ``slot.status`` and
+        adapts.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if slot.conn.poll(0.02):
+                    message = slot.conn.recv()
+                    if (
+                        isinstance(message, tuple)
+                        and message
+                        and message[0] == tag
+                    ):
+                        return message
+                    self._handle_message(slot, message)
+                    continue
+            except (EOFError, OSError):
+                pass
+            self._drain_all_messages(exclude=slot)
+            if not slot.process.is_alive():
+                self._fail_worker(
+                    slot,
+                    f"worker {slot.index} died "
+                    f"(exitcode {slot.process.exitcode})",
+                )
+                return None
+            if time.monotonic() > deadline:
+                self._stall(slot, timeout, tag)
+                return None
+
+    def _quiesce(self) -> None:
+        """Sync every ring-fed worker to its sent position.
+
+        After this returns, every live worker's accepted snapshot
+        covers exactly the chunks the parent has sent it and all
+        retained tails are empty — the precondition for both
+        checkpointing and shard migration.
+        """
+        for slot in self._slots:
+            if slot.feeding_ring:
+                try:
+                    slot.conn.send(("sync", slot.sent_chunks))
+                except (OSError, BrokenPipeError):
+                    pass  # liveness handling in _await_snapshots
+        self._await_snapshots(lambda slot: slot.sent_chunks)
 
     def _drain(self) -> None:
         """End of stream: EOF every ring, collect finals, merge."""
         assert self.supervisor is not None
         for slot in self._slots:
-            deadline = time.monotonic() + self.put_timeout
             while slot.feeding_ring:
-                if slot.ring.close_producer(timeout=0.25):
+                outcome = self._put_with_failover(
+                    slot,
+                    lambda timeout, slot=slot: slot.ring.close_producer(
+                        timeout=timeout
+                    ),
+                    sheddable=False,
+                )
+                if outcome == "ok":
                     break
-                self._drain_all_messages()
-                if not slot.process.is_alive():
-                    self._fail_worker(
-                        slot,
-                        f"worker {slot.index} died "
-                        f"(exitcode {slot.process.exitcode})",
-                    )
-                elif time.monotonic() > deadline:
-                    self._fail_worker(
-                        slot,
-                        f"worker {slot.index} hung: ring full at drain",
-                    )
+                # rerouted: a respawned slot has a fresh ring that
+                # still needs its EOF; an inlined/failed slot exits
+                # via feeding_ring.
         self._await_snapshots(lambda slot: slot.sent_chunks)
         registry = current_registry()
         merge_start = time.perf_counter()
@@ -935,6 +1662,222 @@ class ParallelIngestRuntime:
                 merge_elapsed
             )
 
+    # -- elastic resharding -------------------------------------------------
+
+    def reshard(self, plan: Mapping[int, int]) -> int:
+        """Move shard ownership between workers online.
+
+        ``plan`` maps shard index → destination worker.  The protocol
+        per move is quiesce → export (read-only) → install (acked with
+        a full fresh snapshot) → commit (source resets its copy, acked
+        with a full fresh snapshot), and is crash-consistent at every
+        step:
+
+        * source dies before export: nothing moved, ownership unchanged;
+        * source dies after export, before its commit ack: the parent
+          strips the exported shards from the source's snapshot before
+          any fallback merge (``_exports_pending``), so the destination
+          copy is the only one counted;
+        * destination dies before adopting: its replacement restores a
+          pre-install snapshot and the install is retried;
+        * destination dies after adopting: the adoption ack *was* a
+          fresh snapshot, so failover recovers the migrated shard like
+          any other data.
+
+        Shards currently on a ``failed`` worker cannot move (their
+        exact state is gone); moves targeting a failed worker are
+        rejected.  Returns the number of shards actually moved.
+        """
+        if self.supervisor is None or not self._slots:
+            raise ConfigurationError(
+                "reshard requires a running fleet (call it during run(), "
+                "e.g. from the chunk generator or the reshard controller)"
+            )
+        shards = self.group_params["shards"]
+        moves: dict[int, tuple[int, int]] = {}
+        for shard, destination in plan.items():
+            shard = int(shard)
+            destination = int(destination)
+            if not 0 <= shard < shards:
+                raise ConfigurationError(
+                    f"shard {shard} out of range for {shards} shards"
+                )
+            if not 0 <= destination < self.workers:
+                raise ConfigurationError(
+                    f"worker {destination} out of range for "
+                    f"{self.workers} workers"
+                )
+            source = int(self._assignment[shard])
+            if source == destination:
+                continue
+            if self._slots[destination].status == "failed":
+                raise ConfigurationError(
+                    f"cannot move shard {shard} to failed worker "
+                    f"{destination}"
+                )
+            moves[shard] = (source, destination)
+        if not moves:
+            return 0
+        self._quiesce()
+        by_source: dict[int, list[int]] = {}
+        for shard, (source, _) in moves.items():
+            by_source.setdefault(source, []).append(shard)
+        moved = 0
+        registry = current_registry()
+        for source, shard_list in sorted(by_source.items()):
+            source_slot = self._slots[source]
+            states = self._export_shards(source_slot, shard_list)
+            if states is None:
+                continue  # source unusable; ownership unchanged
+            self._exports_pending[source] = set(states)
+            try:
+                installed: list[int] = []
+                for shard in sorted(states):
+                    destination = moves[shard][1]
+                    self._install_shard(
+                        self._slots[destination], shard, states[shard]
+                    )
+                    self._assignment[shard] = destination
+                    installed.append(shard)
+                    moved += 1
+                    self.migrations += 1
+                    if registry is not None:
+                        registry.counter(
+                            "reshard_migrations_total", shard=str(shard)
+                        ).inc()
+                    trace_point(
+                        "reshard_migration",
+                        shard=shard,
+                        source=source,
+                        destination=destination,
+                    )
+                self._commit_export(source_slot, installed)
+            finally:
+                self._exports_pending.pop(source, None)
+        return moved
+
+    def _export_shards(
+        self, slot: _WorkerSlot, shard_list: list[int]
+    ) -> dict[int, SynopsisState] | None:
+        """Phase one: read the moving shards' states off their owner.
+
+        Read-only — the owner's copies are reset only at commit.
+        Returns ``None`` when the owner is terminally failed (its exact
+        shard state is gone; the move is skipped).
+        """
+        def from_inline() -> dict[int, SynopsisState]:
+            assert slot.inline_group is not None
+            inline_shards = slot.inline_group.shards
+            return {s: inline_shards[s].state() for s in shard_list}
+
+        for _ in range(3):
+            if slot.status == "inlined":
+                return from_inline()
+            if slot.status == "failed":
+                return None
+            try:
+                slot.conn.send(("migrate_out", list(shard_list)))
+            except (OSError, BrokenPipeError):
+                pass
+            reply = self._await_message(slot, "migrated", self.drain_timeout)
+            if reply is None:
+                continue  # slot changed tier or respawned; adapt
+            _, _, states, digest = reply
+            states = {int(s): state for s, state in states.items()}
+            if _states_digest(states) != digest:
+                continue  # corrupted in flight; ask again
+            return states
+        # Retries exhausted: force the worker off the ring tier so the
+        # export can come from its recovered state instead.
+        self._stall(slot, self.drain_timeout, "migrate_out",
+                    allow_respawn=False)
+        if slot.status == "inlined":
+            return from_inline()
+        return None
+
+    def _install_shard(
+        self, slot: _WorkerSlot, shard: int, state: SynopsisState
+    ) -> None:
+        """Phase two: hand one shard's state to its new owner.
+
+        Adapts to whatever tier the destination is on (or falls to
+        mid-install): a ring worker adopts via ``migrate_in`` and acks
+        with a fresh snapshot; an inlined worker installs in-parent; a
+        worker that failed mid-install has the state merged into the
+        combined group and the shard marked failed — the data is never
+        dropped.
+        """
+        assert self.supervisor is not None
+        while True:
+            if slot.status == "inlined":
+                assert slot.inline_group is not None
+                slot.inline_group.install_shard(shard, state)
+                return
+            if slot.status == "failed":
+                carrier = ShardedASketch(**self.group_params)
+                carrier.install_shard(shard, state)
+                self.supervisor.group.merge(carrier)
+                self.supervisor.fail_shard(
+                    shard,
+                    f"migrated to worker {slot.index} after its failure",
+                )
+                return
+            try:
+                slot.conn.send(("migrate_in", {int(shard): state}))
+            except (OSError, BrokenPipeError):
+                pass
+            reply = self._await_message(slot, "adopted", self.drain_timeout)
+            if reply is None:
+                # Destination died or stalled mid-install.  If it never
+                # adopted, its replacement restores a pre-install
+                # snapshot and the retry installs cleanly; if it had
+                # adopted but the ack was lost, the replacement's
+                # restored snapshot predates the install too (the ack
+                # IS the post-install snapshot), so the retry cannot
+                # double-install.
+                continue
+            self._handle_message(slot, reply)
+            return
+
+    def _commit_export(
+        self, slot: _WorkerSlot, shard_list: list[int]
+    ) -> None:
+        """Phase three: the old owner resets its copies of moved shards.
+
+        Until the commit ack (a fresh post-reset snapshot) is accepted,
+        ``_exports_pending`` keeps the moved shards stripped from any
+        failover use of the old owner's state.
+        """
+        if not shard_list:
+            return
+        for _ in range(3):
+            if slot.status == "failed":
+                return  # snapshot was stripped at failover
+            if slot.status == "inlined":
+                assert slot.inline_group is not None
+                for shard in shard_list:
+                    slot.inline_group.export_shard(shard)
+                return
+            try:
+                slot.conn.send(("migrate_commit", list(shard_list)))
+            except (OSError, BrokenPipeError):
+                pass
+            reply = self._await_message(
+                slot, "migrate_committed", self.drain_timeout
+            )
+            if reply is None:
+                continue  # tier change or respawn (pre-commit state): retry
+            self._handle_message(slot, reply)
+            return
+        # The worker still owns live copies of handed-off shards: force
+        # it off the ring tier (the failover strips the pending exports).
+        self._stall(slot, self.drain_timeout, "migrate_commit",
+                    allow_respawn=False)
+        if slot.status == "inlined":
+            assert slot.inline_group is not None
+            for shard in shard_list:
+                slot.inline_group.export_shard(shard)
+
     # -- checkpointing ------------------------------------------------------
 
     def checkpoint(self, store: CheckpointStore) -> dict:
@@ -946,16 +1889,11 @@ class ParallelIngestRuntime:
         that position; the merged clone saved to ``store`` therefore
         covers every chunk ingested so far — the same exactly-once
         replay point semantics as :class:`CheckpointStore` sequential
-        checkpoints.
+        checkpoints.  The journal record's ``extra`` carries the
+        self-healing counters for ``cli health``.
         """
         assert self.supervisor is not None
-        for slot in self._slots:
-            if slot.feeding_ring:
-                try:
-                    slot.conn.send(("sync", slot.sent_chunks))
-                except (OSError, BrokenPipeError):
-                    pass  # liveness handling in _await_snapshots
-        self._await_snapshots(lambda slot: slot.sent_chunks)
+        self._quiesce()
         clone = ShardSupervisor.from_state(self.supervisor.state())
         for slot in self._slots:
             if slot.status == "ok" and slot.snapshot_state is not None:
@@ -971,9 +1909,60 @@ class ParallelIngestRuntime:
             clone,
             chunk_index=self.stats.chunks_ingested,
             tuples_ingested=self.stats.tuples_ingested,
+            extra=self._health_extra(),
         )
 
     # -- health -------------------------------------------------------------
+
+    def _health_extra(self) -> dict:
+        """The self-healing counters journaled with every checkpoint."""
+        return {
+            "worker_respawns": self.respawn_count,
+            "reshard_migrations": self.migrations,
+            "load_shed_chunks": self.shed_chunks,
+            "worker_stalls": self.stall_count,
+            "quarantined_chunks": self.quarantined_count,
+            "snapshot_rejects": sum(
+                slot.snapshot_rejects for slot in self._slots
+            ),
+            "failed_shards": (
+                self.supervisor.failed_shards if self.supervisor else []
+            ),
+            "healing_shards": (
+                self.supervisor.healing_shards if self.supervisor else []
+            ),
+        }
+
+    def health(self) -> dict:
+        """Whole-fleet lifecycle snapshot (JSON-safe).
+
+        Extends :meth:`ShardSupervisor.health` with the per-worker view
+        and the self-healing counters; shed or quarantined chunks
+        escalate an otherwise-``ok`` fleet to ``degraded`` (data is
+        sitting in a dead-letter queue, not in the synopsis).
+        """
+        if self.supervisor is not None:
+            base = self.supervisor.health()
+        else:
+            base = {
+                "status": "ok",
+                "failed_shards": [],
+                "healing_shards": [],
+                "shards": [],
+            }
+        status = base["status"]
+        if status == "ok" and (
+            self.shed_chunks
+            or self.quarantined_count
+            or self.dead_letters.quarantined
+        ):
+            status = "degraded"
+        return {
+            **base,
+            "status": status,
+            "workers": self.worker_health(),
+            **self._health_extra(),
+        }
 
     def worker_health(self) -> list[dict]:
         """Per-worker liveness/progress snapshot (JSON-safe)."""
@@ -988,6 +1977,11 @@ class ParallelIngestRuntime:
                 "sent_items": slot.sent_items,
                 "snapshot_chunks": slot.snapshot_chunks,
                 "shards": self.shards_of(slot.index),
+                "respawns": slot.respawns,
+                "stalls": slot.stalls,
+                "quarantined": slot.quarantined,
+                "snapshot_rejects": slot.snapshot_rejects,
+                "healing": slot.heal_target is not None,
                 "error": slot.error,
             }
             for slot in self._slots
@@ -997,7 +1991,8 @@ class ParallelIngestRuntime:
         """Per-shard status from the combined supervisor.
 
         After a ``standby`` failover the dead worker's shards read
-        ``failed`` here — process liveness surfaced through the same
+        ``failed`` here; during a respawn they read ``healing`` —
+        process liveness surfaced through the same
         :meth:`ShardSupervisor.shard_health` view sequential
         deployments use.
         """

@@ -321,6 +321,36 @@ class FaultPlan:
         ``(chunk_index, shard_index)`` — inject a shard failure into the
         engine's :class:`ShardSupervisor` just before that chunk, so the
         shard's ingest raises and the supervisor must degrade.
+
+    Cross-process faults (acted out *inside* the worker processes of
+    :class:`~repro.runtime.parallel.ParallelIngestRuntime`; every
+    position counts that worker's locally processed chunks):
+
+    worker_crash:
+        ``{worker_id: after_chunks}`` — the worker dies hard
+        (``os._exit``, modelling ``kill -9``) while holding an
+        unprocessed chunk.
+    worker_exit:
+        ``{worker_id: after_chunks}`` — the worker exits "cleanly" but
+        prematurely (``sys.exit``), without sending a final snapshot.
+    worker_hang:
+        ``{worker_id: after_chunks}`` — the worker stops consuming its
+        ring and sleeps forever: alive but stalled, the case parent-side
+        stall detection (not liveness polling) must catch.
+    worker_poison:
+        ``{worker_id: chunk_position}`` — the worker's chunk at that
+        position is replaced with a poison payload before validation,
+        exercising the in-worker dead-letter quarantine path.
+    worker_transient:
+        ``{worker_id: {chunk_position: failures}}`` — the worker's ring
+        source raises :class:`~repro.errors.TransientSourceError` that
+        many times before surrendering the chunk, exercising the
+        in-worker :class:`RetryingSource` path.
+    corrupt_snapshot:
+        ``{worker_id: snapshot_number}`` — that worker's Nth snapshot
+        (1-based) is corrupted in flight; the parent must detect the
+        digest mismatch, reject the snapshot, and keep the retained
+        replay tail that the rejected snapshot would have pruned.
     """
 
     seed: int = 0
@@ -329,6 +359,39 @@ class FaultPlan:
     poison_chunks: frozenset[int] | set[int] = field(default_factory=frozenset)
     corrupt_checkpoint_after: int | None = None
     fail_shard: tuple[int, int] | None = None
+    worker_crash: dict[int, int] = field(default_factory=dict)
+    worker_exit: dict[int, int] = field(default_factory=dict)
+    worker_hang: dict[int, int] = field(default_factory=dict)
+    worker_poison: dict[int, int] = field(default_factory=dict)
+    worker_transient: dict[int, dict[int, int]] = field(default_factory=dict)
+    corrupt_snapshot: dict[int, int] = field(default_factory=dict)
+
+    def worker_faults_for(self, worker: int) -> dict[str, Any] | None:
+        """The picklable fault hooks one worker process must act out.
+
+        Returns ``None`` when this plan holds no faults for ``worker``,
+        so fault-free workers pay no plumbing at all.
+        """
+        hooks: dict[str, Any] = {}
+        if worker in self.worker_crash:
+            hooks["crash_after"] = int(self.worker_crash[worker])
+        if worker in self.worker_exit:
+            hooks["exit_after"] = int(self.worker_exit[worker])
+        if worker in self.worker_hang:
+            hooks["hang_after"] = int(self.worker_hang[worker])
+        if worker in self.worker_poison:
+            hooks["poison_at"] = int(self.worker_poison[worker])
+        if worker in self.worker_transient:
+            hooks["transient"] = {
+                int(k): int(v)
+                for k, v in self.worker_transient[worker].items()
+            }
+        if worker in self.corrupt_snapshot:
+            hooks["corrupt_snapshot_at"] = int(self.corrupt_snapshot[worker])
+        if not hooks:
+            return None
+        hooks["seed"] = int(self.seed)
+        return hooks
 
     def wrap(self, chunks: Iterable[np.ndarray]) -> "FaultySource":
         """The source-side view of this plan over a chunk iterable."""
@@ -598,7 +661,10 @@ class ShardSupervisor:
     SYNOPSIS_KIND = "shard-supervisor"
 
     #: Shard lifecycle states surfaced through :meth:`shard_health`.
+    #: ``ok → healing → ok`` is the transient-recovery loop (a worker
+    #: respawn in flight); ``failed`` is the terminal standby tier.
     STATUS_OK = "ok"
+    STATUS_HEALING = "healing"
     STATUS_FAILED = "failed"
 
     def __init__(
@@ -666,30 +732,80 @@ class ShardSupervisor:
         self._check_index(index)
         self._mark_failed(index, ShardFailedError(reason))
 
+    def begin_healing(self, index: int, reason: str) -> None:
+        """Mark a shard as transiently degraded with recovery in flight.
+
+        The respawn hook: the shard's worker died but a replacement is
+        being restored from snapshot + replay.  Unlike :meth:`fail_shard`
+        the shard's data is *not* lost — it lives in the parent's
+        retained tail — so the shard keeps its regular (non-standby)
+        ingest/query routing and only the health view degrades.  A
+        shard already ``failed`` stays failed (healing never un-fails).
+        """
+        self._check_index(index)
+        if self._status[index] == self.STATUS_FAILED:
+            return
+        self._status[index] = self.STATUS_HEALING
+        self._errors[index] = reason
+        self._record_transition(index, self.STATUS_HEALING)
+
+    def heal_shard(self, index: int) -> None:
+        """Complete a healing cycle: the shard is healthy again.
+
+        Only meaningful from ``healing`` (a ``failed`` shard cannot be
+        healed — its exact state is gone; it stays on the standby tier).
+        """
+        self._check_index(index)
+        if self._status[index] != self.STATUS_HEALING:
+            return
+        self._status[index] = self.STATUS_OK
+        self._errors.pop(index, None)
+        self._record_transition(index, self.STATUS_OK)
+
+    def _record_transition(self, index: int, to_status: str) -> None:
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "shard_health_transitions_total",
+                shard=str(index),
+                to=to_status,
+            ).inc()
+            registry.gauge("shards_failed").set(len(self.failed_shards))
+            registry.gauge("shards_healing").set(len(self.healing_shards))
+
     def _mark_failed(self, index: int, error: Exception) -> None:
         self._status[index] = self.STATUS_FAILED
         self._errors[index] = f"{type(error).__name__}: {error}"
         registry = current_registry()
         if registry is not None:
             registry.counter(
-                "shard_health_transitions_total",
+                "shard_failures_total",
                 shard=str(index),
-                to=self.STATUS_FAILED,
+                reason=type(error).__name__,
             ).inc()
-            registry.gauge("shards_failed").set(len(self.failed_shards))
+        self._record_transition(index, self.STATUS_FAILED)
 
     @property
     def degraded(self) -> bool:
-        """Whether any shard has failed over to its standby."""
+        """Whether any shard is off its healthy state (incl. healing)."""
         return any(status != self.STATUS_OK for status in self._status)
 
     @property
     def failed_shards(self) -> list[int]:
-        """Indices of shards currently running on their standby."""
+        """Indices of shards terminally running on their standby."""
         return [
             index
             for index, status in enumerate(self._status)
-            if status != self.STATUS_OK
+            if status == self.STATUS_FAILED
+        ]
+
+    @property
+    def healing_shards(self) -> list[int]:
+        """Indices of shards with a recovery (respawn/replay) in flight."""
+        return [
+            index
+            for index, status in enumerate(self._status)
+            if status == self.STATUS_HEALING
         ]
 
     def _standby_for(self, index: int) -> CountMinSketch:
@@ -716,6 +832,27 @@ class ShardSupervisor:
             for index, status in enumerate(self._status)
         ]
 
+    def health(self) -> dict:
+        """Whole-group lifecycle snapshot (JSON-safe).
+
+        ``status`` walks the degradation ladder: ``"ok"`` (every shard
+        healthy), ``"healing"`` (recoveries in flight, none terminal —
+        exact state will be restored), ``"degraded"`` (at least one
+        shard is on its one-sided standby tier for good).
+        """
+        if self.failed_shards:
+            status = "degraded"
+        elif self.healing_shards:
+            status = "healing"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "failed_shards": self.failed_shards,
+            "healing_shards": self.healing_shards,
+            "shards": self.shard_health(),
+        }
+
     # -- ingestion ---------------------------------------------------------
 
     def _ingest_share(
@@ -726,7 +863,7 @@ class ShardSupervisor:
         share_counts: np.ndarray | None,
         scalar: bool,
     ) -> None:
-        if self._status[index] == self.STATUS_OK:
+        if self._status[index] != self.STATUS_FAILED:
             try:
                 if index in self._forced:
                     raise ShardFailedError(
@@ -787,7 +924,7 @@ class ShardSupervisor:
         """Route one weighted update, failing over to the standby."""
         index = self.group.shard_of(key)
         shard = self.group.shards[index]
-        if self._status[index] == self.STATUS_OK:
+        if self._status[index] != self.STATUS_FAILED:
             try:
                 if index in self._forced:
                     raise ShardFailedError(f"injected failure on shard {index}")
@@ -801,9 +938,9 @@ class ShardSupervisor:
     # -- queries -----------------------------------------------------------
 
     def query(self, key: int) -> int:
-        """One-sided point estimate; degraded shards answer frozen+standby."""
+        """One-sided point estimate; failed shards answer frozen+standby."""
         index = self.group.shard_of(key)
-        if self._status[index] == self.STATUS_OK:
+        if self._status[index] != self.STATUS_FAILED:
             return self.group.query(key)
         try:
             frozen = int(self.group.shards[index].query(key))
@@ -821,7 +958,7 @@ class ShardSupervisor:
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return []
-        if not self.degraded:
+        if not self.failed_shards:
             return self.group.query_batch(keys)
         owners = self.group.owners_of(keys)
         answers = np.zeros(keys.shape[0], dtype=np.int64)
@@ -834,7 +971,7 @@ class ShardSupervisor:
                 answers[mask] = shard.query_batch(share)
             except Exception:
                 answers[mask] = 0
-            if self._status[index] != self.STATUS_OK:
+            if self._status[index] == self.STATUS_FAILED:
                 standby = self._standbys.get(index)
                 if standby is not None:
                     answers[mask] += np.asarray(
@@ -961,7 +1098,11 @@ class ShardSupervisor:
                 index, 0
             ) + other._standby_tuples.get(index, 0)
         for index, status in enumerate(other._status):
-            if status != self.STATUS_OK:
+            if status == self.STATUS_FAILED or (
+                status == self.STATUS_HEALING
+                and self._status[index] == self.STATUS_OK
+            ):
+                # failed wins over everything; healing only over ok.
                 self._status[index] = status
                 self._errors.setdefault(
                     index, other._errors.get(index, "failed in merged peer")

@@ -255,6 +255,51 @@ class ShardedASketch:
         for mine, theirs in zip(self._shards, other._shards):
             mine.merge(theirs)
 
+    def _check_shard_index(self, index: int) -> None:
+        if not 0 <= index < len(self._shards):
+            raise ConfigurationError(
+                f"shard index {index} out of range for "
+                f"{len(self._shards)} shards"
+            )
+
+    def export_shard(self, index: int) -> SynopsisState:
+        """Extract one shard's state, resetting the shard to pristine.
+
+        The sending half of the elastic-resharding handoff (see
+        :meth:`repro.runtime.parallel.ParallelIngestRuntime.reshard`):
+        the returned state travels to the shard's new owner while this
+        group's copy becomes indistinguishable from freshly built — so
+        the shard stays non-pristine on exactly one side of any later
+        merge, preserving the bit-exact identity fast path.
+        """
+        self._check_shard_index(index)
+        state = self._shards[index].state()
+        self._shards[index] = ASketch(
+            total_bytes=self.total_bytes,
+            filter_items=self.filter_items,
+            filter_kind=self.filter_kind,
+            num_hashes=self.num_hashes,
+            seed=self.seed * 6151,
+            sketch_backend=self.sketch_backend,
+        )
+        return state
+
+    def install_shard(self, index: int, state: SynopsisState) -> None:
+        """Adopt a transferred shard state (receiving half of a handoff).
+
+        The local copy of the shard must still be pristine — installing
+        over absorbed traffic would double-count that traffic, exactly
+        the corruption the resharding protocol exists to rule out, so
+        it is rejected loudly.
+        """
+        self._check_shard_index(index)
+        if self._shards[index].total_mass != 0:
+            raise ConfigurationError(
+                f"cannot install shard {index}: local copy already holds "
+                f"{self._shards[index].total_mass} mass (double ownership)"
+            )
+        self._shards[index] = ASketch.from_state(state)
+
     def reduce(self) -> ASketch:
         """Collapse the group into one stand-alone ASketch.
 

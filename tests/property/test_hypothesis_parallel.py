@@ -17,7 +17,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.runtime.engine import StreamEngine
-from repro.runtime.parallel import parallel_ingest
+from repro.runtime.parallel import ParallelIngestRuntime, parallel_ingest
+from repro.runtime.reliability import FaultPlan
 from repro.runtime.sharding import ShardedASketch
 
 GROUP_PARAMS = {"total_bytes": 8 * 1024, "filter_items": 8, "seed": 47}
@@ -103,3 +104,95 @@ class TestParallelBitIdentity:
         )
         assert stats.tuples_ingested == len(keys)
         assert supervisor.group.state().equals(expected.state())
+
+
+class TestSelfHealingBitIdentity:
+    """Recovery idempotence: random kill/respawn/reshard schedules
+    interleaved with ingest leave the merged state bit-identical to
+    the no-fault single-process run."""
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=60,
+            max_size=400,
+        ),
+        chunk_size=st.integers(min_value=4, max_value=32),
+        sync_every=st.integers(min_value=1, max_value=4),
+        crash_worker=st.integers(min_value=0, max_value=1),
+        crash_after=st.integers(min_value=0, max_value=8),
+        second_crash_after=st.integers(min_value=0, max_value=8),
+    )
+    @SLOW
+    def test_random_kills_respawn_exactly(
+        self,
+        keys,
+        chunk_size,
+        sync_every,
+        crash_worker,
+        crash_after,
+        second_crash_after,
+    ):
+        chunks = chunked(keys, chunk_size)
+        expected = sequential(chunks, 2)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=sync_every,
+            respawn=True,
+            fault_plan=FaultPlan(
+                worker_crash={crash_worker: crash_after},
+                worker_exit={1 - crash_worker: second_crash_after},
+            ),
+            **GROUP_PARAMS,
+        )
+        stats = runtime.run(iter(chunks))
+        assert stats.tuples_ingested == len(keys)
+        assert runtime.supervisor.group.state().equals(expected.state())
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=60,
+            max_size=400,
+        ),
+        chunk_size=st.integers(min_value=4, max_value=32),
+        sync_every=st.integers(min_value=1, max_value=4),
+        moves=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=12),  # at chunk
+                st.integers(min_value=0, max_value=3),  # shard
+                st.integers(min_value=0, max_value=1),  # destination
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        crash_after=st.integers(min_value=0, max_value=10),
+    )
+    @SLOW
+    def test_random_reshard_schedules_with_a_kill(
+        self, keys, chunk_size, sync_every, moves, crash_after
+    ):
+        chunks = chunked(keys, chunk_size)
+        expected = sequential(chunks, 4)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            sync_every=sync_every,
+            respawn=True,
+            fault_plan=FaultPlan(worker_crash={1: crash_after}),
+            **GROUP_PARAMS,
+        )
+        schedule: dict[int, list[tuple[int, int]]] = {}
+        for at_chunk, shard, destination in moves:
+            schedule.setdefault(at_chunk, []).append((shard, destination))
+
+        def driven():
+            for index, chunk in enumerate(chunks):
+                for shard, destination in schedule.get(index, []):
+                    runtime.reshard({shard: destination})
+                yield chunk
+
+        stats = runtime.run(driven())
+        assert stats.tuples_ingested == len(keys)
+        assert runtime.supervisor.group.state().equals(expected.state())

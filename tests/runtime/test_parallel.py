@@ -22,7 +22,7 @@ from repro.runtime.parallel import (
     ParallelIngestRuntime,
     parallel_ingest,
 )
-from repro.runtime.reliability import CheckpointStore
+from repro.runtime.reliability import CheckpointStore, FaultPlan, RetryPolicy
 from repro.runtime.sharding import ShardedASketch
 from repro.streams.zipf import zipf_stream
 
@@ -388,3 +388,562 @@ class TestResourceHygiene:
 
         assert set(leaked_segments()) <= before
         assert mp.active_children() == []
+
+
+class TestRespawn:
+    def test_killed_worker_respawns_bit_identical(self, stream):
+        sequential = sequential_group(stream, shards=4)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            sync_every=2,
+            respawn=True,
+            fault_plan=FaultPlan(worker_crash={1: 3}),
+            **GROUP_PARAMS,
+        )
+        stats = runtime.run(chunks_of(stream))
+        assert stats.tuples_ingested == len(stream)
+        assert runtime.respawn_count == 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+        # The replacement finished the stream on the ring tier and its
+        # shards healed back: everything reads healthy at the end.
+        health = {h["worker"]: h for h in runtime.worker_health()}
+        assert health[1]["status"] == "ok"
+        assert health[1]["respawns"] == 1
+        assert runtime.health()["status"] == "ok"
+        assert [s["status"] for s in runtime.shard_health()] == ["ok"] * 4
+
+    def test_clean_exit_fault_also_respawns(self, stream):
+        sequential = sequential_group(stream, shards=2)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=3,
+            respawn=True,
+            fault_plan=FaultPlan(worker_exit={0: 2}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        assert runtime.respawn_count == 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_crash_before_first_snapshot_respawns_from_scratch(self, stream):
+        sequential = sequential_group(stream, shards=2)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=100,
+            respawn=True,
+            fault_plan=FaultPlan(worker_crash={0: 1}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        assert runtime.respawn_count == 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_exhausted_budget_falls_back_to_inline(self, stream):
+        sequential = sequential_group(stream, shards=2)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            respawn=True,
+            respawn_policy=RetryPolicy(max_retries=0),
+            fault_plan=FaultPlan(worker_crash={1: 2}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        assert runtime.respawn_count == 0
+        health = {h["worker"]: h for h in runtime.worker_health()}
+        assert health[1]["status"] == "inlined"
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_respawn_counter_and_trace_recorded(self, stream):
+        registry = install_registry()
+        try:
+            runtime = ParallelIngestRuntime(
+                2,
+                shards=2,
+                sync_every=2,
+                respawn=True,
+                fault_plan=FaultPlan(worker_crash={1: 2}),
+                **GROUP_PARAMS,
+            )
+            runtime.run(chunks_of(stream))
+            assert registry.value("worker_respawns_total", worker="1") == 1
+        finally:
+            uninstall_registry()
+
+
+class TestStallDetection:
+    def test_hung_worker_fails_over_inline(self, stream):
+        # A hung worker is alive but makes no ring progress: liveness
+        # polling alone would wait forever; the stall budget must trip
+        # and the failover keep the result exact.
+        sequential = sequential_group(stream, shards=2, chunk_size=1_000)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            stall_timeout=1.0,
+            slots=2,
+            fault_plan=FaultPlan(worker_hang={1: 2}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream, 1_000))
+        assert runtime.stall_count >= 1
+        health = {h["worker"]: h for h in runtime.worker_health()}
+        assert health[1]["status"] == "inlined"
+        assert "stalled" in health[1]["error"]
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_hung_worker_respawns_exactly(self, stream):
+        sequential = sequential_group(stream, shards=2, chunk_size=1_000)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            stall_timeout=1.0,
+            slots=2,
+            respawn=True,
+            fault_plan=FaultPlan(worker_hang={1: 2}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream, 1_000))
+        assert runtime.stall_count >= 1
+        assert runtime.respawn_count >= 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_stall_counter_recorded(self, stream):
+        registry = install_registry()
+        try:
+            runtime = ParallelIngestRuntime(
+                2,
+                shards=2,
+                sync_every=2,
+                stall_timeout=1.0,
+                slots=2,
+                fault_plan=FaultPlan(worker_hang={0: 1}),
+                **GROUP_PARAMS,
+            )
+            runtime.run(chunks_of(stream, 1_000))
+            assert (
+                registry.value("parallel_worker_stalls_total", worker="0")
+                >= 1
+            )
+        finally:
+            uninstall_registry()
+
+
+class TestLoadShedding:
+    def test_shed_instead_of_failover(self, stream):
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            stall_timeout=1.0,
+            slots=2,
+            load_shed=True,
+            fault_plan=FaultPlan(worker_hang={1: 2}),
+            **GROUP_PARAMS,
+        )
+        stats = runtime.run(chunks_of(stream, 1_000))
+        assert stats.chunks_ingested == len(chunks_of(stream, 1_000))
+        assert runtime.shed_chunks >= 1
+        # Shed shares sit in the parent dead-letter queue with their
+        # pristine payloads, and the fleet reads degraded (data is
+        # missing from the synopsis until the letters are replayed).
+        assert len(runtime.dead_letters) >= 1
+        assert runtime.health()["status"] == "degraded"
+        health = {h["worker"]: h for h in runtime.worker_health()}
+        # Shedding kept ingest live through the stream (no failover
+        # during feeding); at drain the hung worker cannot take its
+        # EOF, so it is failed over then to let the run terminate.
+        assert health[1]["status"] == "inlined"
+
+    def test_replaying_dead_letters_restores_one_sidedness(self, stream):
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            stall_timeout=1.0,
+            slots=2,
+            load_shed=True,
+            fault_plan=FaultPlan(worker_hang={1: 2}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream, 1_000))
+        assert runtime.shed_chunks >= 1
+        for letter in runtime.dead_letters.letters:
+            runtime.supervisor.group.process_batch(letter.payload)
+        for key, count in stream.exact.top_k(50):
+            assert runtime.supervisor.query(int(key)) >= count
+
+    def test_shed_counter_recorded(self, stream):
+        registry = install_registry()
+        try:
+            runtime = ParallelIngestRuntime(
+                2,
+                shards=2,
+                sync_every=2,
+                stall_timeout=1.0,
+                slots=2,
+                load_shed=True,
+                fault_plan=FaultPlan(worker_hang={1: 2}),
+                **GROUP_PARAMS,
+            )
+            runtime.run(chunks_of(stream, 1_000))
+            assert (
+                registry.value("load_shed_chunks_total", worker="1") >= 1
+            )
+        finally:
+            uninstall_registry()
+
+
+class TestWorkerQuarantine:
+    def test_poison_chunk_quarantines_instead_of_killing(self, stream):
+        # The fault swaps worker 1's share of its 3rd local chunk to a
+        # float payload inside the process; the worker must quarantine
+        # it and keep ingesting (the single-process ResilientEngine
+        # semantics), not die.
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            fault_plan=FaultPlan(worker_poison={1: 3}),
+            **GROUP_PARAMS,
+        )
+        stats = runtime.run(chunks_of(stream))
+        assert stats.chunks_ingested == len(chunks_of(stream))
+        assert runtime.quarantined_count == 1
+        health = {h["worker"]: h for h in runtime.worker_health()}
+        assert health[1]["status"] == "ok"
+        assert health[1]["quarantined"] == 1
+        # The parent kept the pristine int64 payload in its dead-letter
+        # queue (recovered from the retained tail).
+        letters = runtime.dead_letters.letters
+        assert len(letters) == 1
+        assert letters[0].payload is not None
+        assert letters[0].payload.dtype == np.int64
+        assert "worker 1" in letters[0].reason
+        assert runtime.health()["status"] == "degraded"
+
+    def test_estimates_one_sided_excluding_quarantined(self, stream):
+        from collections import Counter
+
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            fault_plan=FaultPlan(worker_poison={1: 3}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        letters = runtime.dead_letters.letters
+        assert len(letters) == 1
+        ingested = Counter(int(k) for k in stream.keys)
+        ingested.subtract(int(k) for k in letters[0].payload)
+        for key, count in ingested.most_common(50):
+            assert runtime.supervisor.query(key) >= count
+
+    def test_replaying_quarantined_payload_covers_full_stream(self, stream):
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            fault_plan=FaultPlan(worker_poison={1: 3}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        for letter in runtime.dead_letters.letters:
+            runtime.supervisor.group.process_batch(letter.payload)
+        for key, count in stream.exact.top_k(50):
+            assert runtime.supervisor.query(int(key)) >= count
+
+
+class TestTransientRingFaults:
+    def test_transient_errors_retried_inside_worker(self, stream):
+        sequential = sequential_group(stream, shards=2)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            fault_plan=FaultPlan(worker_transient={0: {1: 2}, 1: {0: 1}}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        assert runtime.supervisor.group.state().equals(sequential.state())
+        assert all(h["status"] == "ok" for h in runtime.worker_health())
+
+
+class TestSnapshotCorruption:
+    def test_corrupt_snapshot_rejected_not_adopted(self, stream):
+        # The worker corrupts its first snapshot after computing the
+        # digest; the parent must reject it (keeping the retained tail)
+        # and the run must still end bit-identical via later snapshots.
+        sequential = sequential_group(stream, shards=2)
+        registry = install_registry()
+        try:
+            runtime = ParallelIngestRuntime(
+                2,
+                shards=2,
+                sync_every=2,
+                fault_plan=FaultPlan(corrupt_snapshot={1: 1}),
+                **GROUP_PARAMS,
+            )
+            runtime.run(chunks_of(stream))
+            health = {h["worker"]: h for h in runtime.worker_health()}
+            assert health[1]["snapshot_rejects"] == 1
+            assert (
+                registry.value(
+                    "parallel_snapshot_rejects_total", worker="1"
+                )
+                == 1
+            )
+            assert runtime.supervisor.group.state().equals(
+                sequential.state()
+            )
+        finally:
+            uninstall_registry()
+
+    def test_corrupt_snapshot_then_crash_replays_longer_tail(self, stream):
+        # The only snapshot before the crash was rejected, so failover
+        # must rebuild from nothing + the full retained tail.
+        sequential = sequential_group(stream, shards=2)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=3,
+            respawn=True,
+            fault_plan=FaultPlan(
+                corrupt_snapshot={1: 1}, worker_crash={1: 4}
+            ),
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        assert runtime.respawn_count == 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+
+class TestReshard:
+    def test_mid_run_reshard_is_bit_identical(self, stream):
+        sequential = sequential_group(stream, shards=4)
+        runtime = ParallelIngestRuntime(
+            2, shards=4, sync_every=2, **GROUP_PARAMS
+        )
+        all_chunks = chunks_of(stream)
+        moved = []
+
+        def driven():
+            for index, chunk in enumerate(all_chunks):
+                if index == 4:
+                    moved.append(runtime.reshard({1: 0, 3: 0}))
+                yield chunk
+
+        runtime.run(driven())
+        assert moved == [2]
+        assert runtime.migrations == 2
+        assert runtime.shards_of(0) == [0, 1, 2, 3]
+        assert runtime.shards_of(1) == []
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_reshard_back_and_forth(self, stream):
+        sequential = sequential_group(stream, shards=4, chunk_size=2_000)
+        runtime = ParallelIngestRuntime(
+            2, shards=4, sync_every=2, **GROUP_PARAMS
+        )
+        all_chunks = chunks_of(stream, 2_000)
+
+        def driven():
+            for index, chunk in enumerate(all_chunks):
+                if index == 3:
+                    runtime.reshard({1: 0})
+                if index == 9:
+                    runtime.reshard({1: 1})
+                yield chunk
+
+        runtime.run(driven())
+        assert runtime.migrations == 2
+        assert runtime.shards_of(1) == [1, 3]
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_reshard_validation(self, stream):
+        runtime = ParallelIngestRuntime(2, shards=4, **GROUP_PARAMS)
+        with pytest.raises(ConfigurationError, match="running fleet"):
+            runtime.reshard({1: 0})
+        all_chunks = chunks_of(stream)
+
+        def driven():
+            for index, chunk in enumerate(all_chunks):
+                if index == 2:
+                    with pytest.raises(ConfigurationError, match="range"):
+                        runtime.reshard({9: 0})
+                    with pytest.raises(ConfigurationError, match="range"):
+                        runtime.reshard({1: 7})
+                    assert runtime.reshard({0: 0}) == 0  # no-op move
+                yield chunk
+
+        runtime.run(driven())
+
+    def test_migration_counter_and_assignment(self, stream):
+        registry = install_registry()
+        try:
+            runtime = ParallelIngestRuntime(
+                2, shards=4, sync_every=2, **GROUP_PARAMS
+            )
+            all_chunks = chunks_of(stream)
+
+            def driven():
+                for index, chunk in enumerate(all_chunks):
+                    if index == 4:
+                        runtime.reshard({3: 0})
+                    yield chunk
+
+            runtime.run(driven())
+            assert registry.value("reshard_migrations_total", shard="3") == 1
+        finally:
+            uninstall_registry()
+
+    def test_source_crash_after_migration_no_double_count(self, stream):
+        # The migrated shard's mass lives on the destination; the
+        # source's later death replays only its remaining shards —
+        # if the commit protocol leaked the moved shard into the
+        # source's snapshot the merge would double-count it.
+        sequential = sequential_group(stream, shards=4, chunk_size=1_000)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            sync_every=2,
+            respawn=True,
+            fault_plan=FaultPlan(worker_crash={1: 12}),
+            **GROUP_PARAMS,
+        )
+        all_chunks = chunks_of(stream, 1_000)
+
+        def driven():
+            for index, chunk in enumerate(all_chunks):
+                if index == 8:
+                    runtime.reshard({1: 0})
+                yield chunk
+
+        runtime.run(driven())
+        assert runtime.migrations == 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_destination_crash_after_adoption_keeps_shard(self, stream):
+        # The destination dies after adopting the migrated shard; its
+        # recovery (from the adoption snapshot + retained tail) must
+        # still carry the shard — neither lost nor double-counted.
+        sequential = sequential_group(stream, shards=4, chunk_size=1_000)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            sync_every=2,
+            respawn=True,
+            fault_plan=FaultPlan(worker_crash={0: 12}),
+            **GROUP_PARAMS,
+        )
+        all_chunks = chunks_of(stream, 1_000)
+
+        def driven():
+            for index, chunk in enumerate(all_chunks):
+                if index == 8:
+                    runtime.reshard({1: 0})
+                yield chunk
+
+        runtime.run(driven())
+        assert runtime.migrations == 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_reshard_onto_inlined_worker(self, stream):
+        # An inlined worker keeps exact in-parent state: it can still
+        # receive shards.
+        sequential = sequential_group(stream, shards=4, chunk_size=1_000)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            sync_every=2,
+            fault_plan=FaultPlan(worker_crash={0: 2}),
+            **GROUP_PARAMS,
+        )
+        all_chunks = chunks_of(stream, 1_000)
+
+        def driven():
+            for index, chunk in enumerate(all_chunks):
+                if index == 10:
+                    assert runtime.reshard({1: 0}) == 1
+                yield chunk
+
+        runtime.run(driven())
+        health = {h["worker"]: h for h in runtime.worker_health()}
+        assert health[0]["status"] == "inlined"
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+
+class TestAutoReshard:
+    def test_skewed_stream_triggers_online_migration(self):
+        # A hot-key stream concentrates routed load on one worker; the
+        # controller must move a shard off it while ingest continues,
+        # and the result must stay bit-identical.
+        rng = np.random.default_rng(5)
+        keys = (rng.zipf(2.5, size=60_000) % 50).astype(np.int64)
+        all_chunks = [keys[i : i + 1_000] for i in range(0, len(keys), 1_000)]
+        sequential = ShardedASketch(4, **GROUP_PARAMS)
+        StreamEngine(sequential, batched=True).run(all_chunks)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            sync_every=2,
+            auto_reshard=True,
+            reshard_min_window_items=4_000,
+            reshard_skew_threshold=1.2,
+            **GROUP_PARAMS,
+        )
+        stats = runtime.run(iter(all_chunks))
+        assert stats.tuples_ingested == len(keys)
+        assert runtime.migrations >= 1
+        assert runtime.reshard_controller is not None
+        assert runtime.reshard_controller.migration_count >= 1
+        assert runtime.supervisor.group.state().equals(sequential.state())
+
+    def test_balanced_stream_never_reshards(self, stream):
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=4,
+            auto_reshard=True,
+            reshard_min_window_items=4_000,
+            reshard_skew_threshold=3.0,
+            **GROUP_PARAMS,
+        )
+        runtime.run(chunks_of(stream))
+        assert runtime.migrations == 0
+
+
+class TestFleetHealth:
+    def test_health_extra_journaled_with_checkpoints(self, stream, tmp_path):
+        store = CheckpointStore(tmp_path)
+        runtime = ParallelIngestRuntime(
+            2,
+            shards=2,
+            sync_every=2,
+            respawn=True,
+            fault_plan=FaultPlan(worker_crash={1: 2}),
+            **GROUP_PARAMS,
+        )
+        runtime.run(
+            chunks_of(stream), checkpoint_store=store, checkpoint_every=4
+        )
+        _, record = store.load_latest()
+        extra = record["extra"]
+        assert extra["worker_respawns"] == 1
+        assert extra["reshard_migrations"] == 0
+        assert extra["load_shed_chunks"] == 0
+
+    def test_health_report_shape(self, stream):
+        runtime = ParallelIngestRuntime(2, shards=2, **GROUP_PARAMS)
+        runtime.run(chunks_of(stream))
+        health = runtime.health()
+        assert health["status"] == "ok"
+        assert health["worker_respawns"] == 0
+        assert len(health["workers"]) == 2
+        assert all("respawns" in row for row in health["workers"])
